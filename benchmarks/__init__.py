@@ -1,0 +1,1 @@
+"""Figure and table reproduction benchmarks (see DESIGN.md for the index)."""

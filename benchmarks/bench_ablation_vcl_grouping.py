@@ -1,0 +1,69 @@
+"""Ablation: VCL super-element grouping.
+
+Section 6.2 reports that grouping elements into super-elements (to shrink
+the alphabet VCL mappers must hold in memory) "was shown to consistently
+introduce more overhead than savings due to the superfluous pairs", leading
+the VCL authors to recommend one element per group.  This ablation compares
+VCL without grouping against two grouping granularities and reports the
+number of candidate pairs the kernel reducers had to verify.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.exceptions import MemoryBudgetExceeded
+from repro.vcl.driver import VCLConfig, VCLJoin
+
+THRESHOLD = 0.5
+
+
+def test_ablation_vcl_grouping(benchmark, small_dataset, cluster_500, cost_parameters):
+    multisets = small_dataset.multisets
+
+    def run():
+        variants = {
+            "no grouping": VCLConfig(threshold=THRESHOLD),
+            "256 super-elements": VCLConfig(threshold=THRESHOLD, super_element_groups=256),
+            "64 super-elements": VCLConfig(threshold=THRESHOLD, super_element_groups=64),
+        }
+        outcomes = {}
+        for name, config in variants.items():
+            try:
+                outcomes[name] = VCLJoin(config, cluster=cluster_500,
+                                         cost_parameters=cost_parameters).run(multisets)
+            except MemoryBudgetExceeded as error:
+                outcomes[name] = error
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    rows = []
+    for name, result in outcomes.items():
+        if isinstance(result, MemoryBudgetExceeded):
+            rows.append([name, "-", "-", "DNF (reducer group exceeds memory)", "-"])
+            continue
+        counters = result.counters()
+        rows.append([name, counters.get("vcl/pairs_verified", 0),
+                     counters.get("vcl/duplicate_results", 0),
+                     f"{result.simulated_seconds:,.0f}s", len(result.pairs)])
+    print()
+    print(format_table(["variant", "candidate pairs verified", "duplicate results",
+                        "simulated run time", "pairs"], rows,
+                       title="Ablation: VCL super-element grouping "
+                             f"(small dataset, t = {THRESHOLD})"))
+
+    plain = outcomes["no grouping"]
+    assert not isinstance(plain, MemoryBudgetExceeded)
+    grouped = [outcomes["256 super-elements"], outcomes["64 super-elements"]]
+    for result in grouped:
+        if isinstance(result, MemoryBudgetExceeded):
+            # Coarse grouping concentrates whole multisets on few reducers —
+            # an even harsher overhead than the superfluous pairs the paper
+            # measured.
+            continue
+        # Grouping never changes the final result (superfluous pairs are
+        # weeded out by exact verification) but verifies at least as many
+        # candidates as the ungrouped run.
+        assert {p.pair for p in result.pairs} == {p.pair for p in plain.pairs}
+        assert (result.counters()["vcl/pairs_verified"]
+                >= plain.counters()["vcl/pairs_verified"])

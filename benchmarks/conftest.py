@@ -1,0 +1,66 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(section 7) on the scaled-down synthetic presets and prints the same series
+the paper plots.  Wall-clock timing is recorded once per benchmark via
+pytest-benchmark (``rounds=1``); the numbers the figures compare are the
+deterministic *simulated* run times from the cost model, printed as tables.
+
+Set ``REPRO_BENCH_QUICK=1`` to use coarser sweep grids.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.calibration import paper_scale_cluster, paper_scale_cost_parameters
+from repro.datasets.ip_cookie import generate_preset
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Threshold grid of Fig. 4 (0.1 .. 0.9).
+THRESHOLD_GRID = (0.1, 0.5, 0.9) if QUICK else tuple(round(0.1 * i, 1) for i in range(1, 10))
+#: Machine-count grid of Fig. 5 / Fig. 6 (paper: 100 .. 900 step 100).
+MACHINE_GRID = (100, 500, 900) if QUICK else (100, 300, 500, 700, 900)
+#: Sharding-parameter grid of Fig. 7 (paper: 2^5 .. 2^15).
+SHARDING_C_GRID = (32, 1024, 32768) if QUICK else (32, 128, 512, 2048, 8192, 32768)
+
+#: The sharding parameter used for the non-Fig.-7 experiments; the paper
+#: observes the sweet spot around C ~ 1000.
+DEFAULT_SHARDING_C = 1000
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Scaled-down analogue of the paper's small dataset (82M IPs)."""
+    return generate_preset("small")
+
+
+@pytest.fixture(scope="session")
+def realistic_dataset():
+    """Scaled-down analogue of the paper's realistic dataset (454M IPs)."""
+    return generate_preset("realistic")
+
+
+@pytest.fixture(scope="session")
+def cost_parameters():
+    """Cost-model calibration shared by every figure benchmark."""
+    return paper_scale_cost_parameters()
+
+
+@pytest.fixture(scope="session")
+def cluster_500():
+    """The 500-machine cluster used by the Fig. 4 threshold sweep."""
+    return paper_scale_cluster(500)
+
+
+def base_cluster():
+    """The scaled paper cluster, machine count overridden per sweep point."""
+    return paper_scale_cluster()
+
+
+def run_once(benchmark, function):
+    """Record a single timed execution of ``function`` with pytest-benchmark."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,54 @@
+"""Compare the V-SMART-Join algorithms against VCL on a simulated cluster.
+
+A miniature version of the paper's Figure 4 / Figure 5 experiments: run
+Online-Aggregation, Lookup, Sharding and the VCL baseline on the scaled-down
+"small" dataset, sweep the similarity threshold and the number of machines,
+and print the simulated run times the cost model produces.
+
+Run with::
+
+    python examples/algorithm_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import paper_scale_cluster, paper_scale_cost_parameters
+from repro.analysis.experiments import machine_sweep, threshold_sweep
+from repro.analysis.reporting import format_sweep_table
+from repro.datasets.ip_cookie import generate_preset
+
+ALGORITHMS = ("online_aggregation", "lookup", "sharding", "vcl")
+
+
+def main() -> None:
+    dataset = generate_preset("small")
+    print(f"Small synthetic dataset: {len(dataset.multisets)} IPs "
+          f"(scaled-down analogue of the paper's 82M-IP dataset).")
+    cost = paper_scale_cost_parameters()
+
+    thresholds = (0.1, 0.5, 0.9)
+    sweep = threshold_sweep(ALGORITHMS, dataset.multisets, thresholds,
+                            cluster=paper_scale_cluster(500),
+                            sharding_threshold=1000, cost_parameters=cost,
+                            keep_pairs=False)
+    print()
+    print(format_sweep_table(sweep, ALGORITHMS, "threshold",
+                             title="Simulated run time vs similarity threshold "
+                                   "(500 machines; compare paper Fig. 4)"))
+
+    machines = (100, 500, 900)
+    sweep = machine_sweep(ALGORITHMS, dataset.multisets, machines,
+                          base_cluster=paper_scale_cluster(),
+                          threshold=0.5, sharding_threshold=1000,
+                          cost_parameters=cost, keep_pairs=False)
+    print()
+    print(format_sweep_table(sweep, ALGORITHMS, "machines",
+                             title="Simulated run time vs number of machines "
+                                   "(t = 0.5; compare paper Fig. 5)"))
+    print()
+    print("Simulated seconds come from the deterministic cost model; only the")
+    print("relative comparisons are meaningful (see EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    main()

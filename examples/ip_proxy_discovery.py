@@ -1,0 +1,90 @@
+"""Discover load-balancing proxy IPs from an IP/cookie workload.
+
+This is the paper's motivating application (sections 1 and 7.4): every IP is
+a multiset of the cookies observed with it, similar IPs are connected into a
+similarity graph, and the connected clusters are candidate ISP load
+balancers.  The example:
+
+1. generates a synthetic workload with planted proxy groups,
+2. runs the V-SMART-Join pipeline at several thresholds,
+3. filters out IPs that observed fewer than 50 cookies (the paper's
+   false-positive mitigation),
+4. reports coverage and false positives against the planted ground truth.
+
+Run with::
+
+    python examples/ip_proxy_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.communities.proxies import (
+    discovered_proxy_groups,
+    evaluate_proxy_discovery,
+    filter_small_multisets,
+)
+from repro.datasets.ip_cookie import IPCookieConfig, generate_ip_cookie_dataset
+from repro.mapreduce.cluster import laptop_cluster
+from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig
+
+#: The paper filters out IPs that observed fewer than 50 cookies; the
+#: synthetic workload is smaller, so the filter is scaled down too.
+MINIMUM_COOKIES_PER_IP = 15
+
+
+def main() -> None:
+    config = IPCookieConfig(num_ips=150, num_cookies=800,
+                            max_cookies_per_ip=120, min_cookies_per_ip=3,
+                            num_proxy_groups=6, ips_per_proxy_group=5,
+                            cookies_per_proxy_pool=30, proxy_cookie_affinity=0.9,
+                            seed=42)
+    dataset = generate_ip_cookie_dataset(config)
+    cluster = laptop_cluster(num_machines=8)
+    print(f"Generated {len(dataset.multisets)} IPs, "
+          f"{len(dataset.proxy_groups)} planted load-balancer groups.")
+
+    rows = []
+    for threshold in (0.1, 0.3, 0.5, 0.7):
+        join = VSmartJoin(VSmartJoinConfig(algorithm="online_aggregation",
+                                           measure="ruzicka",
+                                           threshold=threshold,
+                                           sharding_threshold=64),
+                          cluster=cluster)
+        unfiltered = join.run(dataset.multisets)
+        raw_eval = evaluate_proxy_discovery(unfiltered.pairs, dataset.proxy_groups,
+                                            threshold)
+
+        kept = filter_small_multisets(dataset.multisets, MINIMUM_COOKIES_PER_IP)
+        kept_ids = {multiset.id for multiset in kept}
+        filtered = join.run(kept)
+        filtered_eval = evaluate_proxy_discovery(filtered.pairs, dataset.proxy_groups,
+                                                 threshold, restrict_to_ids=kept_ids)
+        rows.append([threshold,
+                     raw_eval.discovered_pairs, f"{raw_eval.coverage:.2f}",
+                     f"{raw_eval.false_positive_rate:.2f}",
+                     filtered_eval.discovered_pairs, f"{filtered_eval.coverage:.2f}",
+                     f"{filtered_eval.false_positive_rate:.2f}"])
+
+    print()
+    print(format_table(
+        ["t", "pairs", "coverage", "FP rate",
+         "pairs (>=50c filter)", "coverage (filter)", "FP rate (filter)"],
+        rows,
+        title="Proxy discovery quality vs similarity threshold (paper section 7.4)"))
+
+    # Show the discovered communities at the paper's low-threshold setting.
+    join = VSmartJoin(VSmartJoinConfig(threshold=0.3, sharding_threshold=64),
+                      cluster=cluster)
+    result = join.run(filter_small_multisets(dataset.multisets, MINIMUM_COOKIES_PER_IP))
+    groups = discovered_proxy_groups(result.pairs)
+    print()
+    print(f"Discovered {len(groups)} candidate load balancers at t=0.3; largest groups:")
+    for group in groups[:5]:
+        members = ", ".join(sorted(group)[:6])
+        suffix = ", ..." if len(group) > 6 else ""
+        print(f"  [{len(group):>2} IPs] {members}{suffix}")
+
+
+if __name__ == "__main__":
+    main()

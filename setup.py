@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works on offline environments whose
+setuptools/pip combination cannot build PEP 660 editable wheels (the
+``wheel`` package is not always available).  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a reproduction of V-SMART-Join (Metwally & Faloutsos, VLDB 2012).
+
+The package implements the paper's contribution and every substrate it
+depends on:
+
+* :mod:`repro.core` — multisets, sparse vectors and the record types that
+  flow through the pipelines;
+* :mod:`repro.similarity` — the Nominal Similarity Measure framework
+  (Eqn. 1) with the unilateral / conjunctive / disjunctive classification
+  and the concrete measures (Ruzicka, Jaccard, Dice, cosine, ...);
+* :mod:`repro.mapreduce` — a deterministic MapReduce simulator with
+  combiners, secondary keys, per-machine memory/disk budgets and a cost
+  model producing simulated run times;
+* :mod:`repro.vsmart` — the V-SMART-Join framework: the Online-Aggregation,
+  Lookup and Sharding joining algorithms plus the shared two-step similarity
+  phase;
+* :mod:`repro.vcl` — the VCL baseline (MapReduce PPJoin+ with prefix
+  filtering);
+* :mod:`repro.baselines` — sequential baselines (brute force, inverted
+  index, PPJoin, MinHash/LSH);
+* :mod:`repro.datasets` — synthetic IP/cookie and document workload
+  generators with planted ground truth;
+* :mod:`repro.communities` — similarity-graph clustering and proxy
+  identification;
+* :mod:`repro.analysis` — the experiment harness behind the figure
+  benchmarks.
+
+Quickstart::
+
+    from repro import Multiset, vsmart_join
+
+    ips = [Multiset("ip-a", {"cookie1": 3, "cookie2": 1}),
+           Multiset("ip-b", {"cookie1": 2, "cookie2": 2}),
+           Multiset("ip-c", {"cookie9": 5})]
+    pairs = vsmart_join(ips, measure="ruzicka", threshold=0.4)
+"""
+
+from repro.core import InputTuple, Multiset, SimilarPair, SparseVector
+from repro.mapreduce import Cluster, laptop_cluster, paper_cluster
+from repro.similarity import all_pairs_exact, compute_similarity, get_measure
+from repro.vcl import VCLConfig, VCLJoin, vcl_join
+from repro.vsmart import VSmartJoin, VSmartJoinConfig, vsmart_join
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "InputTuple",
+    "Multiset",
+    "SimilarPair",
+    "SparseVector",
+    "VCLConfig",
+    "VCLJoin",
+    "VSmartJoin",
+    "VSmartJoinConfig",
+    "__version__",
+    "all_pairs_exact",
+    "compute_similarity",
+    "get_measure",
+    "laptop_cluster",
+    "paper_cluster",
+    "vcl_join",
+    "vsmart_join",
+]

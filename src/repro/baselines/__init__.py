@@ -1,0 +1,21 @@
+"""Sequential baseline algorithms referenced by the paper's related work."""
+
+from repro.baselines.brute_force import BruteForceJoin
+from repro.baselines.inverted_index import InvertedIndexJoin
+from repro.baselines.minhash import (
+    LSHParameters,
+    MinHashLSHJoin,
+    estimate_similarity,
+    minhash_signature,
+)
+from repro.baselines.ppjoin import PPJoin
+
+__all__ = [
+    "BruteForceJoin",
+    "InvertedIndexJoin",
+    "LSHParameters",
+    "MinHashLSHJoin",
+    "PPJoin",
+    "estimate_similarity",
+    "minhash_signature",
+]

@@ -1,0 +1,28 @@
+"""Naive all-pairs baseline.
+
+The simplest possible exact algorithm: evaluate the similarity of every
+unordered pair.  Quadratic in the number of entities, it exists as ground
+truth for tests and as the lower anchor in the baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.multiset import Multiset
+from repro.core.records import SimilarPair
+from repro.similarity.base import NominalSimilarityMeasure
+from repro.similarity.exact import all_pairs_exact
+
+
+class BruteForceJoin:
+    """Exhaustive exact all-pair similarity join."""
+
+    def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
+                 threshold: float = 0.5) -> None:
+        self.measure = measure
+        self.threshold = threshold
+
+    def run(self, multisets: Iterable[Multiset]) -> list[SimilarPair]:
+        """Return every pair with similarity at least the threshold."""
+        return all_pairs_exact(multisets, self.measure, self.threshold)

@@ -1,0 +1,151 @@
+"""MinHash / LSH approximate similarity join (Broder [5, 6] lineage).
+
+The paper's related-work section covers the Locality Sensitive Hashing
+family: estimate Jaccard similarity from min-wise hash signatures, and use
+banding to generate candidate pairs without comparing everything against
+everything.  These algorithms are approximate and sequential, which is
+exactly why the paper excludes them from its experiments; they are
+implemented here so that the trade-off (speed and recall versus exactness)
+can be demonstrated and tested.
+
+Multisets are handled through the set expansion of Chaudhuri et al. [10]
+(each element repeated once per unit of multiplicity), under which the
+Jaccard similarity of the expansions equals the Ruzicka similarity of the
+original multisets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.exceptions import MeasureNotApplicableError
+from repro.core.multiset import Multiset
+from repro.core.records import SimilarPair, canonical_pair
+from repro.mapreduce.partitioner import stable_hash
+from repro.similarity.base import validate_threshold
+from repro.similarity.registry import get_measure
+
+#: Measures whose similarity MinHash signatures can estimate.
+SUPPORTED_MEASURES = ("jaccard", "ruzicka", "weighted_jaccard")
+
+
+def minhash_signature(multiset: Multiset, num_hashes: int,
+                      use_expansion: bool, seed: int = 0) -> tuple[int, ...]:
+    """Compute the min-wise hash signature of a multiset.
+
+    With ``use_expansion`` the signature is taken over the multiset's set
+    expansion (so signature agreement estimates Ruzicka); without it the
+    underlying set is hashed (estimating plain Jaccard).
+    """
+    if num_hashes < 1:
+        raise ValueError("num_hashes must be at least 1")
+    items: Iterable = (multiset.set_expansion() if use_expansion
+                       else multiset.underlying_set)
+    frozen = tuple(items)
+    if not frozen:
+        return tuple(0 for _ in range(num_hashes))
+    signature = []
+    for hash_index in range(num_hashes):
+        salt = f"minhash-{seed}-{hash_index}"
+        signature.append(min(stable_hash(item, salt=salt) for item in frozen))
+    return tuple(signature)
+
+
+def estimate_similarity(signature_a: tuple[int, ...],
+                        signature_b: tuple[int, ...]) -> float:
+    """Estimate similarity as the fraction of agreeing signature components."""
+    if len(signature_a) != len(signature_b):
+        raise ValueError("signatures must have the same length")
+    if not signature_a:
+        return 0.0
+    matches = sum(1 for left, right in zip(signature_a, signature_b) if left == right)
+    return matches / len(signature_a)
+
+
+@dataclass(frozen=True)
+class LSHParameters:
+    """Banding parameters: ``bands * rows_per_band`` hash functions."""
+
+    num_bands: int = 16
+    rows_per_band: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_bands < 1 or self.rows_per_band < 1:
+            raise ValueError("num_bands and rows_per_band must be positive")
+
+    @property
+    def num_hashes(self) -> int:
+        """Total signature length."""
+        return self.num_bands * self.rows_per_band
+
+    def collision_probability(self, similarity: float) -> float:
+        """Probability that a pair with the given similarity collides in some band."""
+        return 1.0 - (1.0 - similarity ** self.rows_per_band) ** self.num_bands
+
+
+class MinHashLSHJoin:
+    """Approximate all-pair similarity join via MinHash banding.
+
+    Candidate pairs are the pairs agreeing on at least one full band; their
+    similarity is either estimated from the signatures (default) or verified
+    exactly when ``verify_exact`` is set, in which case the algorithm's only
+    approximation is potential recall loss from banding.
+    """
+
+    def __init__(self, measure: str = "ruzicka", threshold: float = 0.5,
+                 parameters: LSHParameters | None = None,
+                 verify_exact: bool = False, seed: int = 0) -> None:
+        if measure not in SUPPORTED_MEASURES:
+            raise MeasureNotApplicableError(
+                f"MinHash estimates Jaccard-family measures only; got {measure!r}")
+        self.measure_name = measure
+        self.measure = get_measure(measure)
+        self.threshold = validate_threshold(threshold)
+        self.parameters = parameters or LSHParameters()
+        self.verify_exact = verify_exact
+        self.seed = seed
+        #: Number of candidate pairs examined in the last run.
+        self.last_candidates = 0
+
+    def run(self, multisets: Iterable[Multiset]) -> list[SimilarPair]:
+        """Return the (approximately) similar pairs."""
+        entities = {multiset.id: multiset for multiset in multisets}
+        use_expansion = self.measure_name in ("ruzicka", "weighted_jaccard")
+        signatures = {
+            multiset_id: minhash_signature(entity, self.parameters.num_hashes,
+                                           use_expansion, self.seed)
+            for multiset_id, entity in entities.items()
+        }
+        candidates = self._banding_candidates(signatures)
+        self.last_candidates = len(candidates)
+        results = []
+        for first_id, second_id in sorted(candidates):
+            if self.verify_exact:
+                similarity = self.measure.similarity(entities[first_id],
+                                                     entities[second_id])
+            else:
+                similarity = estimate_similarity(signatures[first_id],
+                                                 signatures[second_id])
+            if similarity >= self.threshold:
+                results.append(SimilarPair(first_id, second_id, similarity))
+        return results
+
+    def _banding_candidates(self, signatures: dict) -> set[tuple]:
+        candidates: set[tuple] = set()
+        rows = self.parameters.rows_per_band
+        for band in range(self.parameters.num_bands):
+            buckets: dict[tuple, list] = {}
+            start = band * rows
+            for multiset_id, signature in signatures.items():
+                key = signature[start:start + rows]
+                buckets.setdefault(key, []).append(multiset_id)
+            for bucket in buckets.values():
+                if len(bucket) < 2:
+                    continue
+                ordered = sorted(bucket, key=repr)
+                for index_i in range(len(ordered)):
+                    for index_j in range(index_i + 1, len(ordered)):
+                        candidates.add(canonical_pair(ordered[index_i],
+                                                      ordered[index_j]))
+        return candidates

@@ -1,0 +1,82 @@
+"""IP-similarity graph construction (paper section 1 and 7.4).
+
+The post-processing step of the motivating application connects every pair
+of similar IPs with an edge; the connected clusters of the resulting graph
+are the candidate load-balancer (proxy) groups.  The graph here is a plain
+adjacency-set structure with edge weights equal to the similarity values,
+small enough to stay dependency-free while supporting the clustering and
+evaluation utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.records import SimilarPair, canonical_pair
+
+
+@dataclass
+class SimilarityGraph:
+    """An undirected graph whose edges are similar entity pairs."""
+
+    adjacency: dict = field(default_factory=dict)
+    weights: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[SimilarPair]) -> "SimilarityGraph":
+        """Build a graph from similar pairs (later duplicates overwrite weights)."""
+        graph = cls()
+        for pair in pairs:
+            graph.add_edge(pair.first, pair.second, pair.similarity)
+        return graph
+
+    def add_node(self, node: Hashable) -> None:
+        """Ensure a node exists (isolated nodes are allowed)."""
+        self.adjacency.setdefault(node, set())
+
+    def add_edge(self, first: Hashable, second: Hashable,
+                 similarity: float = 1.0) -> None:
+        """Add an undirected weighted edge between two entities."""
+        if first == second:
+            return
+        self.add_node(first)
+        self.add_node(second)
+        self.adjacency[first].add(second)
+        self.adjacency[second].add(first)
+        self.weights[canonical_pair(first, second)] = similarity
+
+    def neighbours(self, node: Hashable) -> set:
+        """The neighbour set of a node (empty when unknown)."""
+        return set(self.adjacency.get(node, set()))
+
+    def edge_weight(self, first: Hashable, second: Hashable) -> float:
+        """The similarity of an edge, or 0.0 when absent."""
+        return self.weights.get(canonical_pair(first, second), 0.0)
+
+    def has_edge(self, first: Hashable, second: Hashable) -> bool:
+        """Whether the two entities were found to be similar."""
+        return canonical_pair(first, second) in self.weights
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of entities appearing in at least one similar pair."""
+        return len(self.adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of similar pairs."""
+        return len(self.weights)
+
+    def nodes(self) -> Iterator[Hashable]:
+        """Iterate over the graph's nodes."""
+        return iter(self.adjacency)
+
+    def degree(self, node: Hashable) -> int:
+        """Number of similar partners of an entity."""
+        return len(self.adjacency.get(node, set()))
+
+    def edges(self) -> Iterator[tuple]:
+        """Iterate over ``(first, second, similarity)`` edge triples."""
+        for (first, second), weight in self.weights.items():
+            yield (first, second, weight)

@@ -1,0 +1,116 @@
+"""Proxy (load-balancer) identification and its evaluation (paper section 7.4).
+
+The paper judges each similarity threshold by the *coverage* of the
+discovered similar IPs and by the *false positives* — IPs declared similar
+that cannot belong to the same proxy.  With the synthetic workload the
+planted proxy groups are known exactly, so both metrics are computed against
+ground truth rather than by manual inspection:
+
+* a discovered pair is a true positive when both IPs belong to the same
+  planted group, a false positive otherwise;
+* coverage is the fraction of planted same-group pairs that were discovered;
+* the paper's mitigation — dropping IPs that observed fewer than 50 cookies
+  — is implemented as a pre-filter and its effect on the false-positive rate
+  is part of the §7.4 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.communities.clustering import clusters_from_pairs
+from repro.core.multiset import Multiset
+from repro.core.records import SimilarPair, canonical_pair
+
+
+@dataclass(frozen=True)
+class ProxyEvaluation:
+    """Pair-level evaluation of discovered proxies against planted groups."""
+
+    threshold: float
+    discovered_pairs: int
+    true_positive_pairs: int
+    false_positive_pairs: int
+    ground_truth_pairs: int
+    discovered_clusters: int
+    largest_cluster: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of discovered pairs that are genuine same-proxy pairs."""
+        if self.discovered_pairs == 0:
+            return 1.0
+        return self.true_positive_pairs / self.discovered_pairs
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of planted same-proxy pairs that were discovered (recall)."""
+        if self.ground_truth_pairs == 0:
+            return 1.0
+        return self.true_positive_pairs / self.ground_truth_pairs
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of discovered pairs that are false positives."""
+        if self.discovered_pairs == 0:
+            return 0.0
+        return self.false_positive_pairs / self.discovered_pairs
+
+
+def filter_small_multisets(multisets: Iterable[Multiset],
+                           minimum_distinct_elements: int = 50) -> list[Multiset]:
+    """Drop IPs that observed fewer than the given number of distinct cookies.
+
+    This is the section 7.4 mitigation that "almost eliminated the false
+    positives for all the thresholds" by removing IPs that have very little
+    chance of being proxies.
+    """
+    return [multiset for multiset in multisets
+            if multiset.underlying_cardinality >= minimum_distinct_elements]
+
+
+def ground_truth_pairs(proxy_groups: Sequence[set]) -> set[tuple]:
+    """All unordered same-group IP pairs implied by the planted groups."""
+    pairs: set[tuple] = set()
+    for group in proxy_groups:
+        for first, second in combinations(sorted(group, key=repr), 2):
+            pairs.add(canonical_pair(first, second))
+    return pairs
+
+
+def evaluate_proxy_discovery(pairs: Iterable[SimilarPair],
+                             proxy_groups: Sequence[set],
+                             threshold: float,
+                             restrict_to_ids: set | None = None) -> ProxyEvaluation:
+    """Score discovered similar pairs against the planted proxy groups.
+
+    ``restrict_to_ids`` limits the ground truth to IPs that survived a
+    pre-filter (for example the <50-cookies filter), so coverage is not
+    penalised for pairs that were filtered out on purpose.
+    """
+    truth = ground_truth_pairs(proxy_groups)
+    if restrict_to_ids is not None:
+        truth = {pair for pair in truth
+                 if pair[0] in restrict_to_ids and pair[1] in restrict_to_ids}
+    discovered = list(pairs)
+    discovered_keys = {pair.pair for pair in discovered}
+    true_positives = len(discovered_keys & truth)
+    false_positives = len(discovered_keys) - true_positives
+    clusters = clusters_from_pairs(discovered)
+    return ProxyEvaluation(
+        threshold=threshold,
+        discovered_pairs=len(discovered_keys),
+        true_positive_pairs=true_positives,
+        false_positive_pairs=false_positives,
+        ground_truth_pairs=len(truth),
+        discovered_clusters=len(clusters),
+        largest_cluster=max((len(cluster) for cluster in clusters), default=0),
+    )
+
+
+def discovered_proxy_groups(pairs: Iterable[SimilarPair],
+                            minimum_size: int = 2) -> list[set]:
+    """The discovered load-balancer groups (similarity-graph clusters)."""
+    return clusters_from_pairs(pairs, minimum_size=minimum_size)

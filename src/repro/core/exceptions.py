@@ -1,0 +1,112 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems define narrower
+subclasses (for example :class:`MemoryBudgetExceeded` raised by the
+MapReduce simulator) so tests and the experiment harness can assert on the
+precise failure mode the paper describes (e.g. the Lookup algorithm not
+being able to load its lookup table on the realistic dataset).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro package."""
+
+
+class InvalidMultisetError(ReproError):
+    """Raised when a multiset is constructed with invalid contents.
+
+    Multiplicities must be positive integers and element identifiers must be
+    hashable.  Zero or negative multiplicities are rejected rather than
+    silently dropped so that data-loading bugs surface early.
+    """
+
+
+class InvalidVectorError(ReproError):
+    """Raised when a sparse vector is constructed with invalid contents."""
+
+
+class MeasureNotApplicableError(ReproError):
+    """Raised when a similarity measure cannot be evaluated by a framework.
+
+    The V-SMART-Join framework only supports Nominal Similarity Measures
+    whose partial results are unilateral or conjunctive (paper section 3.2).
+    Measures that declare a disjunctive partial trigger this error when
+    handed to the MapReduce drivers, while remaining usable for exact
+    sequential evaluation.
+    """
+
+
+class UnknownMeasureError(ReproError):
+    """Raised when a measure name is not present in the measure registry."""
+
+
+class MapReduceError(ReproError):
+    """Base class for errors raised by the MapReduce simulator."""
+
+
+class JobConfigurationError(MapReduceError):
+    """Raised when a job specification is internally inconsistent."""
+
+
+class UnsupportedFeatureError(MapReduceError):
+    """Raised when a job requires an engine feature the cluster lacks.
+
+    The paper stresses that Hadoop does not support secondary keys; running
+    the Online-Aggregation joining algorithm on a Hadoop-profile cluster
+    therefore raises this error.
+    """
+
+
+class MemoryBudgetExceeded(MapReduceError):
+    """Raised when a task needs more memory than its machine provides.
+
+    This models the thrashing / out-of-memory failures the paper reports:
+    the Lookup algorithm failing to load its lookup table and VCL failing to
+    load the frequency-sorted alphabet on the realistic dataset.
+    """
+
+    def __init__(self, message: str, required_bytes: int = 0,
+                 budget_bytes: int = 0) -> None:
+        super().__init__(message)
+        self.required_bytes = int(required_bytes)
+        self.budget_bytes = int(budget_bytes)
+
+
+class DiskBudgetExceeded(MapReduceError):
+    """Raised when a job writes more intermediate data than the disk budget."""
+
+    def __init__(self, message: str, required_bytes: int = 0,
+                 budget_bytes: int = 0) -> None:
+        super().__init__(message)
+        self.required_bytes = int(required_bytes)
+        self.budget_bytes = int(budget_bytes)
+
+
+class JobTimeoutError(MapReduceError):
+    """Raised when a job's simulated run time exceeds the scheduler limit.
+
+    The paper reports that the VCL kernel mappers were killed by the
+    MapReduce scheduler after 48 hours on the realistic dataset; the
+    simulated scheduler reproduces that behaviour through this exception.
+    """
+
+    def __init__(self, message: str, simulated_seconds: float = 0.0,
+                 limit_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.simulated_seconds = float(simulated_seconds)
+        self.limit_seconds = float(limit_seconds)
+
+
+class PipelineError(MapReduceError):
+    """Raised when a multi-job pipeline cannot be assembled or executed."""
+
+
+class DatasetError(ReproError):
+    """Raised by workload generators and loaders on invalid parameters."""
+
+
+class CommunityError(ReproError):
+    """Raised by the community-discovery post-processing utilities."""

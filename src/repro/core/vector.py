@@ -1,0 +1,208 @@
+"""Sparse non-negative vector data model.
+
+The paper notes (section 3.1) that representing multisets as non-negative
+vectors is trivial when the alphabet is totally ordered, and that the
+V-SMART-Join framework applies uniformly to sets, multisets and vectors.
+:class:`SparseVector` is the vector-flavoured sibling of
+:class:`repro.core.multiset.Multiset`: dimensions are alphabet elements and
+weights are non-negative floats (not necessarily integers), which is what
+document models with tf-idf weights produce.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Hashable
+
+from repro.core.exceptions import InvalidVectorError
+from repro.core.multiset import Multiset
+
+Dimension = Hashable
+VectorId = Hashable
+
+
+class SparseVector(Mapping):
+    """An immutable sparse vector with non-negative weights.
+
+    Parameters
+    ----------
+    vector_id:
+        Identifier of the entity this vector represents.
+    weights:
+        Mapping from dimension to strictly positive weight, or an iterable of
+        ``(dimension, weight)`` pairs.  Zero weights are rejected: a sparse
+        vector stores only its support.
+    """
+
+    __slots__ = ("_id", "_weights", "_l1", "_l2", "_hash")
+
+    def __init__(self, vector_id: VectorId,
+                 weights: Mapping[Dimension, float] | Iterable[tuple[Dimension, float]]) -> None:
+        if isinstance(weights, Mapping):
+            items = weights.items()
+        else:
+            items = list(weights)
+        frozen: dict[Dimension, float] = {}
+        l1 = 0.0
+        l2_sq = 0.0
+        for dimension, weight in items:
+            value = float(weight)
+            if not math.isfinite(value):
+                raise InvalidVectorError(
+                    f"weight of dimension {dimension!r} must be finite, got {weight!r}")
+            if value <= 0.0:
+                raise InvalidVectorError(
+                    f"weight of dimension {dimension!r} must be positive, got {weight!r}")
+            if dimension in frozen:
+                raise InvalidVectorError(
+                    f"dimension {dimension!r} appears more than once in the input")
+            frozen[dimension] = value
+            l1 += value
+            l2_sq += value * value
+        self._id = vector_id
+        self._weights = frozen
+        self._l1 = l1
+        self._l2 = math.sqrt(l2_sq)
+        self._hash: int | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_multiset(cls, multiset: Multiset) -> "SparseVector":
+        """View a multiset as a sparse vector of its multiplicities."""
+        return cls(multiset.id, {element: float(multiplicity)
+                                 for element, multiplicity in multiset.items()})
+
+    @classmethod
+    def unit(cls, vector_id: VectorId,
+             weights: Mapping[Dimension, float]) -> "SparseVector":
+        """Build an L2-normalised vector from raw weights.
+
+        Unit vectors are what the approximate cosine approaches the paper
+        criticises (Elsayed et al. [13]) operate on; they discard the size of
+        the entity, which is exactly the information the IP/cookie workload
+        needs to keep.
+        """
+        vector = cls(vector_id, weights)
+        norm = vector.l2_norm
+        if norm == 0.0:
+            raise InvalidVectorError("cannot normalise an empty vector")
+        return cls(vector_id, {dimension: weight / norm
+                               for dimension, weight in vector.items()})
+
+    # -- mapping protocol --------------------------------------------------
+
+    def __getitem__(self, dimension: Dimension) -> float:
+        return self._weights[dimension]
+
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, dimension: object) -> bool:
+        return dimension in self._weights
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def id(self) -> VectorId:
+        """The entity identifier of this vector."""
+        return self._id
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._id == other._id and self._weights == other._weights
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._id, frozenset(self._weights.items())))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (f"SparseVector(id={self._id!r}, dims={len(self._weights)}, "
+                f"l1={self._l1:.4g}, l2={self._l2:.4g})")
+
+    # -- norms and supports --------------------------------------------------
+
+    @property
+    def l1_norm(self) -> float:
+        """Sum of weights — the vector analogue of multiset cardinality."""
+        return self._l1
+
+    @property
+    def l2_norm(self) -> float:
+        """Euclidean norm of the vector."""
+        return self._l2
+
+    @property
+    def support(self) -> frozenset:
+        """The set of dimensions with non-zero weight — ``U(Mi)``."""
+        return frozenset(self._weights)
+
+    @property
+    def support_size(self) -> int:
+        """Number of non-zero dimensions — ``|U(Mi)|``."""
+        return len(self._weights)
+
+    def weight(self, dimension: Dimension) -> float:
+        """Return the weight of ``dimension``; zero when absent."""
+        return self._weights.get(dimension, 0.0)
+
+    # -- pairwise operations -------------------------------------------------
+
+    def dot(self, other: "SparseVector") -> float:
+        """``sum_k f_{i,k} * f_{j,k}`` over the shared support."""
+        small, large = self._ordered_by_size(other)
+        return sum(weight * large._weights.get(dimension, 0.0)
+                   for dimension, weight in small._weights.items())
+
+    def min_sum(self, other: "SparseVector") -> float:
+        """``sum_k min(f_{i,k}, f_{j,k})`` — the generalised intersection."""
+        small, large = self._ordered_by_size(other)
+        return sum(min(weight, large._weights.get(dimension, 0.0))
+                   for dimension, weight in small._weights.items())
+
+    def max_sum(self, other: "SparseVector") -> float:
+        """``sum_k max(f_{i,k}, f_{j,k})`` — the generalised union."""
+        return self._l1 + other._l1 - self.min_sum(other)
+
+    def cosine(self, other: "SparseVector") -> float:
+        """The standard vector cosine similarity."""
+        if self._l2 == 0.0 or other._l2 == 0.0:
+            return 0.0
+        return self.dot(other) / (self._l2 * other._l2)
+
+    def _ordered_by_size(self, other: "SparseVector") -> tuple["SparseVector", "SparseVector"]:
+        if len(self._weights) <= len(other._weights):
+            return self, other
+        return other, self
+
+    # -- transformations ----------------------------------------------------
+
+    def to_multiset(self, rounding: str = "exact") -> Multiset:
+        """Convert to a multiset; weights must be (near-)integers.
+
+        ``rounding='exact'`` requires every weight to be an integer value;
+        ``rounding='round'`` rounds weights to the nearest positive integer.
+        """
+        counts: dict[Dimension, int] = {}
+        for dimension, weight in self._weights.items():
+            if rounding == "exact":
+                if abs(weight - round(weight)) > 1e-9:
+                    raise InvalidVectorError(
+                        f"dimension {dimension!r} has non-integer weight {weight}")
+                counts[dimension] = int(round(weight))
+            elif rounding == "round":
+                counts[dimension] = max(1, int(round(weight)))
+            else:
+                raise InvalidVectorError(f"unknown rounding mode {rounding!r}")
+        return Multiset(self._id, counts)
+
+    def to_tuples(self) -> list[tuple[VectorId, Dimension, float]]:
+        """Return the exploded ``(id, dimension, weight)`` representation."""
+        return [(self._id, dimension, weight)
+                for dimension, weight in self._weights.items()]

@@ -1,0 +1,74 @@
+"""Reading and writing datasets as tab-separated files.
+
+The raw-input representation of the paper — one ``<Mi, a_k, f_ik>`` record
+per (multiset, element) incidence — maps naturally onto a three-column TSV
+file.  These helpers round-trip datasets to disk so that examples and
+benchmarks can persist generated workloads and users can feed their own data
+into the library.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.core.exceptions import DatasetError
+from repro.core.multiset import Multiset
+from repro.core.records import InputTuple, assemble_multisets, explode_multisets
+
+
+def write_input_tuples(path: str | os.PathLike,
+                       records: Iterable[InputTuple]) -> int:
+    """Write raw input tuples to a TSV file; returns the number of rows."""
+    rows = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(f"{record.multiset_id}\t{record.element}\t"
+                         f"{int(record.multiplicity)}\n")
+            rows += 1
+    return rows
+
+
+def read_input_tuples(path: str | os.PathLike) -> list[InputTuple]:
+    """Read raw input tuples from a TSV file written by :func:`write_input_tuples`."""
+    records: list[InputTuple] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected 3 tab-separated columns, "
+                    f"got {len(parts)}")
+            multiset_id, element, multiplicity = parts
+            try:
+                records.append(InputTuple(multiset_id, element, int(multiplicity)))
+            except ValueError as error:
+                raise DatasetError(
+                    f"{path}:{line_number}: invalid multiplicity "
+                    f"{multiplicity!r}") from error
+    return records
+
+
+def write_multisets(path: str | os.PathLike,
+                    multisets: Iterable[Multiset]) -> int:
+    """Write multisets as exploded raw tuples; returns the number of rows."""
+    return write_input_tuples(path, explode_multisets(multisets))
+
+
+def read_multisets(path: str | os.PathLike) -> list[Multiset]:
+    """Read multisets from a TSV file of raw tuples."""
+    assembled = assemble_multisets(read_input_tuples(path))
+    return [assembled[key] for key in sorted(assembled, key=repr)]
+
+
+def write_similar_pairs(path: str | os.PathLike, pairs) -> int:
+    """Write similar pairs as a three-column TSV; returns the number of rows."""
+    rows = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for pair in pairs:
+            handle.write(f"{pair.first}\t{pair.second}\t{pair.similarity:.6f}\n")
+            rows += 1
+    return rows

@@ -1,0 +1,83 @@
+"""A small, deterministic MapReduce simulator.
+
+This package is the substrate the paper's algorithms run on.  It executes
+mappers, dedicated combiners and reducers exactly (results are real), while
+per-machine loads, memory/disk budgets and a calibrated cost model provide a
+deterministic *simulated* run time used by the figure benchmarks.
+"""
+
+from repro.mapreduce.cluster import (
+    GIGABYTE,
+    GOOGLE_MAPREDUCE,
+    HADOOP,
+    MEGABYTE,
+    Cluster,
+    ClusterProfile,
+    laptop_cluster,
+    paper_cluster,
+)
+from repro.mapreduce.costmodel import (
+    DEFAULT_COST_PARAMETERS,
+    CostBreakdown,
+    CostModel,
+    CostParameters,
+)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.dfs import Dataset
+from repro.mapreduce.job import (
+    Combiner,
+    IdentityMapper,
+    JobSpec,
+    Mapper,
+    Reducer,
+    SummingCombiner,
+    TaskContext,
+)
+from repro.mapreduce.partitioner import (
+    first_component_partitioner,
+    hash_partitioner,
+    stable_hash,
+)
+from repro.mapreduce.runner import JobResult, LocalJobRunner, PipelineResult
+from repro.mapreduce.types import (
+    JobStats,
+    KeyValue,
+    PhaseStats,
+    PipelineStats,
+    estimate_record_bytes,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterProfile",
+    "Combiner",
+    "CostBreakdown",
+    "CostModel",
+    "CostParameters",
+    "Counters",
+    "DEFAULT_COST_PARAMETERS",
+    "Dataset",
+    "GIGABYTE",
+    "GOOGLE_MAPREDUCE",
+    "HADOOP",
+    "IdentityMapper",
+    "JobResult",
+    "JobSpec",
+    "JobStats",
+    "KeyValue",
+    "LocalJobRunner",
+    "MEGABYTE",
+    "Mapper",
+    "PhaseStats",
+    "PipelineResult",
+    "PipelineStats",
+    "Reducer",
+    "SummingCombiner",
+    "TaskContext",
+    "estimate_record_bytes",
+    "first_component_partitioner",
+    "hash_partitioner",
+    "laptop_cluster",
+    "paper_cluster",
+    "stable_hash",
+]

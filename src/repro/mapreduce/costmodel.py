@@ -1,0 +1,121 @@
+"""Deterministic cost model converting job statistics into simulated time.
+
+The simulator runs every mapper and reducer in-process, so wall-clock time on
+the development machine says nothing about how the algorithm would behave on
+a 500-machine fleet.  Instead, the cost model reproduces the reasoning the
+paper itself uses:
+
+* a phase finishes when its *slowest machine* finishes, so per-phase time is
+  the maximum per-machine work (never less than the largest indivisible unit
+  of work — a single map record or a single reduce group);
+* the shuffle is bounded both by the aggregate network bandwidth of the
+  fleet and by the single link of the reducer receiving the largest group;
+* loading side data (lookup tables, the VCL frequency-sorted alphabet) is a
+  fixed per-machine cost that does not shrink as machines are added — this
+  is exactly why the paper observes Lookup benefiting least from scale-out;
+* every MapReduce step pays a fixed start/stop overhead — the paper notes "a
+  large portion of the run times were spent in starting and stopping the
+  MapReduce runs".
+
+All rates are expressed in bytes per second of *work units*; work units are
+bytes processed plus a per-record overhead, as accumulated by the runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.types import JobStats
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Calibration constants of the simulated-time model.
+
+    The defaults are calibrated so that the scaled-down synthetic datasets
+    reproduce the qualitative shape of the paper's figures (who wins, the
+    rough factors, where scaling flattens) — absolute seconds are not
+    meaningful.
+    """
+
+    #: Fixed start/stop overhead of one MapReduce step, in seconds.
+    job_overhead_seconds: float = 30.0
+    #: Per-machine processing throughput (CPU plus local I/O), bytes/second.
+    machine_throughput: float = 8.0e6
+    #: Per-machine network bandwidth during the shuffle, bytes/second.
+    network_bandwidth: float = 4.0e6
+    #: Per-machine rate at which side data is read into memory, bytes/second.
+    side_data_load_rate: float = 16.0e6
+    #: Work-unit overhead charged per record (models per-record CPU cost).
+    record_overhead_bytes: float = 64.0
+
+    def __post_init__(self) -> None:
+        if min(self.machine_throughput, self.network_bandwidth,
+               self.side_data_load_rate) <= 0:
+            raise ValueError("all cost-model rates must be positive")
+        if self.job_overhead_seconds < 0 or self.record_overhead_bytes < 0:
+            raise ValueError("overheads must be non-negative")
+
+
+#: Default calibration shared by the benchmarks.
+DEFAULT_COST_PARAMETERS = CostParameters()
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Simulated seconds attributed to each component of a job."""
+
+    overhead_seconds: float
+    side_data_seconds: float
+    map_seconds: float
+    shuffle_seconds: float
+    reduce_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated run time of the job."""
+        return (self.overhead_seconds + self.side_data_seconds
+                + self.map_seconds + self.shuffle_seconds
+                + self.reduce_seconds)
+
+
+class CostModel:
+    """Convert :class:`JobStats` into simulated run time on a cluster."""
+
+    def __init__(self, parameters: CostParameters = DEFAULT_COST_PARAMETERS) -> None:
+        self.parameters = parameters
+
+    def job_cost(self, stats: JobStats, cluster: Cluster) -> CostBreakdown:
+        """Compute the per-component simulated cost of one job."""
+        params = self.parameters
+        machines = max(1, cluster.num_machines)
+
+        side_data_seconds = stats.side_data_bytes / params.side_data_load_rate
+
+        map_critical = max(stats.map.max_machine_work, stats.map.max_unit_work)
+        map_seconds = map_critical / params.machine_throughput
+
+        # Aggregate shuffle constrained by fleet bandwidth, plus the single
+        # link of the reducer that must receive the largest group.
+        aggregate_shuffle = stats.shuffle_bytes / (params.network_bandwidth * machines)
+        slowest_receiver = stats.max_group_bytes / params.network_bandwidth
+        shuffle_seconds = aggregate_shuffle + slowest_receiver
+
+        reduce_critical = max(stats.reduce.max_machine_work,
+                              stats.reduce.max_unit_work)
+        reduce_seconds = reduce_critical / params.machine_throughput
+
+        return CostBreakdown(
+            overhead_seconds=params.job_overhead_seconds,
+            side_data_seconds=side_data_seconds,
+            map_seconds=map_seconds,
+            shuffle_seconds=shuffle_seconds,
+            reduce_seconds=reduce_seconds,
+        )
+
+    def annotate(self, stats: JobStats, cluster: Cluster) -> float:
+        """Fill ``stats.simulated_seconds`` and return the value."""
+        breakdown = self.job_cost(stats, cluster)
+        stats.simulated_seconds = breakdown.total_seconds
+        return stats.simulated_seconds

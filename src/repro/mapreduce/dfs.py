@@ -1,0 +1,80 @@
+"""A tiny in-memory stand-in for the distributed file system.
+
+Job inputs and outputs are :class:`Dataset` objects: named, immutable
+sequences of records.  Real MapReduce reads partitioned files from GFS/HDFS;
+the simulator only needs the record stream and its approximate byte size, so
+a dataset is simply a tuple of records plus lazily computed statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.mapreduce.types import estimate_record_bytes
+
+
+class Dataset:
+    """An immutable, named sequence of records.
+
+    Datasets are cheap wrappers; records are whatever Python objects the
+    jobs produce (``InputTuple``, ``KeyValue``, plain tuples, ...).
+    """
+
+    __slots__ = ("_name", "_records", "_total_bytes")
+
+    def __init__(self, name: str, records: Iterable[Any]) -> None:
+        self._name = name
+        self._records: tuple = tuple(records)
+        self._total_bytes: int | None = None
+
+    @classmethod
+    def from_records(cls, records: Iterable[Any], name: str = "dataset") -> "Dataset":
+        """Build a dataset from any iterable of records."""
+        return cls(name, records)
+
+    @property
+    def name(self) -> str:
+        """The dataset's human-readable name (used in stats and logs)."""
+        return self._name
+
+    @property
+    def records(self) -> Sequence[Any]:
+        """The records as an immutable sequence."""
+        return self._records
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated serialised size of the whole dataset."""
+        if self._total_bytes is None:
+            self._total_bytes = sum(estimate_record_bytes(record)
+                                    for record in self._records)
+        return self._total_bytes
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        return f"Dataset(name={self._name!r}, records={len(self._records)})"
+
+    def map_records(self, transform: Callable[[Any], Any],
+                    name: str | None = None) -> "Dataset":
+        """Return a new dataset with ``transform`` applied to every record."""
+        return Dataset(name or f"{self._name}:mapped",
+                       (transform(record) for record in self._records))
+
+    def filter_records(self, predicate: Callable[[Any], bool],
+                       name: str | None = None) -> "Dataset":
+        """Return a new dataset keeping only records matching ``predicate``."""
+        return Dataset(name or f"{self._name}:filtered",
+                       (record for record in self._records if predicate(record)))
+
+    def concat(self, other: "Dataset", name: str | None = None) -> "Dataset":
+        """Return the concatenation of this dataset and ``other``."""
+        return Dataset(name or f"{self._name}+{other._name}",
+                       list(self._records) + list(other._records))

@@ -1,0 +1,333 @@
+"""Local execution engine for simulated MapReduce jobs.
+
+:class:`LocalJobRunner` executes a :class:`~repro.mapreduce.job.JobSpec`
+against a :class:`~repro.mapreduce.dfs.Dataset` on a simulated
+:class:`~repro.mapreduce.cluster.Cluster`.  Results are exact — every mapper
+and reducer really runs — while the *performance* of the run is modelled:
+
+* input records are spread round-robin over the cluster's machines to
+  account per-machine map work;
+* dedicated combiners run per mapper machine and shrink the shuffle volume;
+* the shuffle groups records by key (hash partitioned to ``num_reducers``
+  partitions, one partition per machine by default) and optionally sorts
+  each group by the secondary key;
+* per-machine memory and disk budgets are enforced, raising
+  :class:`~repro.core.exceptions.MemoryBudgetExceeded` /
+  :class:`~repro.core.exceptions.DiskBudgetExceeded` in the situations the
+  paper describes (lookup tables or frequency-sorted alphabets that do not
+  fit, reduce value lists that must be materialised);
+* the cost model converts the measured loads into a simulated run time, and
+  the scheduler kills jobs whose simulated time exceeds the cluster limit
+  (as happened to the VCL kernel mappers in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.exceptions import (
+    DiskBudgetExceeded,
+    JobTimeoutError,
+    MemoryBudgetExceeded,
+    UnsupportedFeatureError,
+)
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.costmodel import (
+    DEFAULT_COST_PARAMETERS,
+    CostModel,
+    CostParameters,
+)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.dfs import Dataset
+from repro.mapreduce.job import JobSpec, TaskContext, iterate_emissions
+from repro.mapreduce.types import JobStats, KeyValue, estimate_record_bytes
+
+
+@dataclass
+class JobResult:
+    """The output dataset and statistics of one executed job."""
+
+    output: Dataset
+    stats: JobStats
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Simulated run time of the job."""
+        return self.stats.simulated_seconds
+
+
+@dataclass
+class PipelineResult:
+    """The output and per-job statistics of a multi-job pipeline."""
+
+    name: str
+    output: Dataset
+    job_stats: list[JobStats] = field(default_factory=list)
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated run time across all jobs of the pipeline."""
+        return sum(stats.simulated_seconds for stats in self.job_stats)
+
+    def stats_for(self, job_name: str) -> JobStats:
+        """Return the statistics of the job called ``job_name``."""
+        for stats in self.job_stats:
+            if stats.job_name == job_name:
+                return stats
+        raise KeyError(f"no job named {job_name!r} in pipeline {self.name!r}")
+
+    def counters(self) -> dict[str, int]:
+        """Return all counters summed across the pipeline's jobs."""
+        merged: dict[str, int] = {}
+        for stats in self.job_stats:
+            for key, value in stats.counters.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+
+class LocalJobRunner:
+    """Execute simulated MapReduce jobs on a cluster description."""
+
+    def __init__(self, cluster: Cluster,
+                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+                 enforce_budgets: bool = True) -> None:
+        self.cluster = cluster
+        self.cost_parameters = cost_parameters
+        self.cost_model = CostModel(cost_parameters)
+        self.enforce_budgets = enforce_budgets
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, job: JobSpec, dataset: Dataset) -> JobResult:
+        """Run one job over ``dataset`` and return its output and stats."""
+        self._check_profile(job)
+        stats = JobStats(job_name=job.name, num_machines=self.cluster.num_machines)
+        counters = Counters()
+
+        side_data_bytes = self._side_data_bytes(job)
+        stats.side_data_bytes = side_data_bytes
+        self._check_memory(job.name, "side data",
+                           side_data_bytes, stats)
+
+        map_output = self._run_map_phase(job, dataset, stats, counters)
+        map_output = self._run_combine_phase(job, map_output, stats, counters)
+        groups = self._shuffle(job, map_output, stats)
+
+        if job.reducer is None:
+            output_records: list[Any] = [kv for kv in map_output]
+        else:
+            output_records = self._run_reduce_phase(job, groups, stats, counters)
+
+        self._check_disk(job.name, stats)
+        stats.merge_counters(counters.as_dict())
+        self.cost_model.annotate(stats, self.cluster)
+        self._check_scheduler(job.name, stats)
+        output = Dataset(f"{job.name}:output", output_records)
+        return JobResult(output=output, stats=stats)
+
+    # -- phases ---------------------------------------------------------------
+
+    def _run_map_phase(self, job: JobSpec, dataset: Dataset,
+                       stats: JobStats, counters: Counters) -> list[KeyValue]:
+        context = TaskContext(counters, job.side_data,
+                              self.cluster.num_machines, job.name)
+        job.mapper.setup(context)
+        overhead = self.cost_parameters.record_overhead_bytes
+        machines = self.cluster.num_machines
+        map_output: list[KeyValue] = []
+        max_input_record = 0
+        max_output_record = 0
+        for index, record in enumerate(dataset):
+            machine = index % machines
+            bytes_in = estimate_record_bytes(record)
+            max_input_record = max(max_input_record, bytes_in)
+            bytes_out = 0
+            emitted_count = 0
+            for key_value in iterate_emissions(job.mapper.map(record, context)):
+                size = estimate_record_bytes(key_value)
+                bytes_out += size
+                max_output_record = max(max_output_record, size)
+                map_output.append(key_value)
+                emitted_count += 1
+            work = bytes_in + bytes_out + overhead * (1 + emitted_count)
+            stats.map.records_in += 1
+            stats.map.records_out += emitted_count
+            stats.map.bytes_in += bytes_in
+            stats.map.bytes_out += bytes_out
+            stats.map.add_machine_work(machine, work)
+        cleanup_bytes = 0
+        cleanup_count = 0
+        for key_value in iterate_emissions(job.mapper.cleanup(context)):
+            size = estimate_record_bytes(key_value)
+            cleanup_bytes += size
+            max_output_record = max(max_output_record, size)
+            map_output.append(key_value)
+            cleanup_count += 1
+        if cleanup_count:
+            stats.map.records_out += cleanup_count
+            stats.map.bytes_out += cleanup_bytes
+            stats.map.add_machine_work(0, cleanup_bytes + overhead * cleanup_count)
+
+        task_memory = stats.side_data_bytes + max_input_record + max_output_record
+        stats.peak_task_memory = max(stats.peak_task_memory, task_memory)
+        self._check_memory(job.name, "map task working set", task_memory, stats)
+        return map_output
+
+    def _run_combine_phase(self, job: JobSpec, map_output: list[KeyValue],
+                           stats: JobStats, counters: Counters) -> list[KeyValue]:
+        if job.combiner is None:
+            return map_output
+        context = TaskContext(counters, job.side_data,
+                              self.cluster.num_machines, job.name)
+        overhead = self.cost_parameters.record_overhead_bytes
+        machines = self.cluster.num_machines
+        # Dedicated combiners run on the mapper machines: group this
+        # machine's output by (key, secondary) and combine each group.
+        per_machine: dict[int, dict[tuple, list[KeyValue]]] = {}
+        for index, key_value in enumerate(map_output):
+            machine = index % machines
+            group_key = (key_value.key, key_value.secondary)
+            per_machine.setdefault(machine, {}).setdefault(group_key, []).append(key_value)
+        combined: list[KeyValue] = []
+        for machine, groups in sorted(per_machine.items()):
+            machine_bytes_in = 0
+            machine_bytes_out = 0
+            records_in = 0
+            records_out = 0
+            for (key, secondary), key_values in groups.items():
+                values = [kv.value for kv in key_values]
+                machine_bytes_in += sum(estimate_record_bytes(kv) for kv in key_values)
+                records_in += len(values)
+                for value in job.combiner.combine(key, values, context):
+                    new_kv = KeyValue(key, value, secondary)
+                    combined.append(new_kv)
+                    machine_bytes_out += estimate_record_bytes(new_kv)
+                    records_out += 1
+            stats.combine.records_in += records_in
+            stats.combine.records_out += records_out
+            stats.combine.bytes_in += machine_bytes_in
+            stats.combine.bytes_out += machine_bytes_out
+            work = machine_bytes_in + machine_bytes_out + overhead * records_in
+            stats.combine.add_machine_work(machine, work)
+            # Combining happens on the mapper machine; fold it into map work
+            # so the cost model charges the same machine.
+            stats.map.add_machine_work(machine, work)
+        return combined
+
+    def _shuffle(self, job: JobSpec, map_output: list[KeyValue],
+                 stats: JobStats) -> dict[int, dict[Any, list[KeyValue]]]:
+        num_reducers = job.num_reducers or self.cluster.num_machines
+        partitions: dict[int, dict[Any, list[KeyValue]]] = {}
+        shuffle_bytes = 0
+        for key_value in map_output:
+            partition = job.partitioner(key_value.key, num_reducers)
+            shuffle_bytes += estimate_record_bytes(key_value)
+            partitions.setdefault(partition, {}).setdefault(key_value.key, []).append(key_value)
+        stats.shuffle_bytes = shuffle_bytes
+        stats.spilled_bytes = shuffle_bytes  # written once on the map side
+        sort_by_secondary = (job.requires_secondary_keys
+                             and self.cluster.profile.supports_secondary_keys)
+        if sort_by_secondary:
+            for groups in partitions.values():
+                for key_values in groups.values():
+                    key_values.sort(key=lambda kv: (kv.secondary is None, kv.secondary))
+        return partitions
+
+    def _run_reduce_phase(self, job: JobSpec,
+                          partitions: dict[int, dict[Any, list[KeyValue]]],
+                          stats: JobStats, counters: Counters) -> list[Any]:
+        context = TaskContext(counters, job.side_data,
+                              self.cluster.num_machines, job.name)
+        reducer = job.reducer
+        assert reducer is not None
+        reducer.setup(context)
+        overhead = self.cost_parameters.record_overhead_bytes
+        machines = self.cluster.num_machines
+        output_records: list[Any] = []
+        for partition in sorted(partitions):
+            machine = partition % machines
+            for key, key_values in partitions[partition].items():
+                values = [kv.value for kv in key_values]
+                bytes_in = sum(estimate_record_bytes(kv) for kv in key_values)
+                stats.reduce_groups += 1
+                stats.max_group_records = max(stats.max_group_records, len(values))
+                stats.max_group_bytes = max(stats.max_group_bytes, bytes_in)
+                if reducer.materializes_input:
+                    # Side data is loaded by the mappers of the jobs in this
+                    # library, so the reducer budget covers only the
+                    # materialised value list.
+                    stats.peak_task_memory = max(stats.peak_task_memory, bytes_in)
+                    self._check_memory(job.name,
+                                       f"reduce value list of key {key!r}",
+                                       bytes_in, stats)
+                bytes_out = 0
+                records_out = 0
+                for record in reducer.reduce(key, values, context):
+                    output_records.append(record)
+                    bytes_out += estimate_record_bytes(record)
+                    records_out += 1
+                work = bytes_in + bytes_out + overhead * len(values)
+                stats.reduce.records_in += len(values)
+                stats.reduce.records_out += records_out
+                stats.reduce.bytes_in += bytes_in
+                stats.reduce.bytes_out += bytes_out
+                stats.reduce.add_machine_work(machine, work)
+        cleanup_bytes = 0
+        cleanup_count = 0
+        for record in reducer.cleanup(context):
+            output_records.append(record)
+            cleanup_bytes += estimate_record_bytes(record)
+            cleanup_count += 1
+        if cleanup_count:
+            stats.reduce.records_out += cleanup_count
+            stats.reduce.bytes_out += cleanup_bytes
+            stats.reduce.add_machine_work(0, cleanup_bytes + overhead * cleanup_count)
+        return output_records
+
+    # -- budget and profile checks --------------------------------------------
+
+    def _check_profile(self, job: JobSpec) -> None:
+        if job.requires_secondary_keys and not self.cluster.profile.supports_secondary_keys:
+            raise UnsupportedFeatureError(
+                f"job {job.name!r} requires secondary keys, which the "
+                f"{self.cluster.profile.name!r} engine profile does not support")
+
+    def _side_data_bytes(self, job: JobSpec) -> int:
+        if job.side_data is None:
+            return 0
+        if job.side_data_bytes is not None:
+            return int(job.side_data_bytes)
+        return estimate_record_bytes(job.side_data)
+
+    def _check_memory(self, job_name: str, what: str, required: int,
+                      stats: JobStats) -> None:
+        if not self.enforce_budgets:
+            return
+        budget = self.cluster.memory_per_machine
+        if required > budget:
+            raise MemoryBudgetExceeded(
+                f"job {job_name!r}: {what} needs {required} bytes but each "
+                f"machine only has {budget} bytes of memory",
+                required_bytes=required, budget_bytes=budget)
+
+    def _check_disk(self, job_name: str, stats: JobStats) -> None:
+        if not self.enforce_budgets:
+            return
+        per_machine = (2 * stats.shuffle_bytes) // max(1, self.cluster.num_machines)
+        budget = self.cluster.disk_per_machine
+        if per_machine > budget:
+            raise DiskBudgetExceeded(
+                f"job {job_name!r}: intermediate data needs about {per_machine} "
+                f"bytes of disk per machine but the budget is {budget} bytes",
+                required_bytes=per_machine, budget_bytes=budget)
+
+    def _check_scheduler(self, job_name: str, stats: JobStats) -> None:
+        limit = self.cluster.scheduler_limit_seconds
+        if stats.simulated_seconds > limit:
+            raise JobTimeoutError(
+                f"job {job_name!r} would run for {stats.simulated_seconds:.0f} "
+                f"simulated seconds, exceeding the scheduler limit of "
+                f"{limit:.0f} seconds; the scheduler killed it",
+                simulated_seconds=stats.simulated_seconds, limit_seconds=limit)

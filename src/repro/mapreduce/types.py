@@ -1,0 +1,186 @@
+"""Record, statistics and size-estimation types for the MapReduce simulator.
+
+The simulator does not measure wall-clock time.  Instead every job execution
+produces a :class:`JobStats` describing how many records and bytes flowed
+through each phase and how the work distributed across the simulated
+machines; the cost model (:mod:`repro.mapreduce.costmodel`) converts those
+loads into a deterministic simulated run time.  This mirrors how the paper
+reasons about its algorithms: the bottleneck is always "the slowest machine"
+(the reducer with the longest ``reduce_value_list``, the mapper holding the
+largest multiset), not the aggregate work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+#: Rough per-object overhead charged by the size estimator, in bytes.
+_OBJECT_OVERHEAD = 16
+
+
+def estimate_record_bytes(value: Any) -> int:
+    """Estimate the serialised size of a record, in bytes.
+
+    The estimate is intentionally coarse (it models a compact binary
+    serialisation, not Python object overhead) but it is *consistent*, which
+    is all the cost model needs: relative sizes drive the shuffle volume,
+    the memory-budget checks and the per-machine load balance.
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    size_hint = getattr(value, "estimated_bytes", None)
+    if callable(size_hint):
+        return int(size_hint())
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (str, bytes)):
+        return len(value) + 4
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return _OBJECT_OVERHEAD + sum(estimate_record_bytes(item) for item in value)
+    if isinstance(value, dict):
+        return _OBJECT_OVERHEAD + sum(
+            estimate_record_bytes(key) + estimate_record_bytes(item)
+            for key, item in value.items())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _OBJECT_OVERHEAD + sum(
+            estimate_record_bytes(getattr(value, fld.name))
+            for fld in dataclasses.fields(value))
+    if hasattr(value, "items"):
+        return _OBJECT_OVERHEAD + sum(
+            estimate_record_bytes(key) + estimate_record_bytes(item)
+            for key, item in value.items())
+    return _OBJECT_OVERHEAD
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    """An intermediate ``<key, value>`` record with an optional secondary key.
+
+    Secondary keys implement the within-group sort order that the Google
+    MapReduce supports and Hadoop does not (paper section 2); the shuffle
+    stage sorts each reduce value list by the secondary key when the cluster
+    profile allows it.
+    """
+
+    key: Hashable
+    value: Any
+    secondary: Hashable = None
+
+
+@dataclass
+class PhaseStats:
+    """Load statistics for one phase (map, combine or reduce) of a job."""
+
+    records_in: int = 0
+    records_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: Total per-record processing units attributed to the phase.
+    work_units: float = 0.0
+    #: The largest amount of work any single indivisible unit required
+    #: (a single map record, or a single reduce group).  The cost model uses
+    #: it as a lower bound on the phase's critical path.
+    max_unit_work: float = 0.0
+    #: Per-machine work assignment (index -> work units).
+    machine_work: dict[int, float] = field(default_factory=dict)
+
+    def add_machine_work(self, machine: int, work: float) -> None:
+        """Attribute ``work`` units to ``machine``."""
+        self.machine_work[machine] = self.machine_work.get(machine, 0.0) + work
+        self.work_units += work
+        if work > self.max_unit_work:
+            self.max_unit_work = work
+
+    @property
+    def max_machine_work(self) -> float:
+        """The load of the most loaded machine in this phase."""
+        if not self.machine_work:
+            return 0.0
+        return max(self.machine_work.values())
+
+    @property
+    def skew(self) -> float:
+        """Ratio of the most loaded machine to the average machine load."""
+        if not self.machine_work:
+            return 0.0
+        average = self.work_units / len(self.machine_work)
+        if average == 0.0:
+            return 0.0
+        return self.max_machine_work / average
+
+
+@dataclass
+class JobStats:
+    """Complete load statistics for one simulated MapReduce job."""
+
+    job_name: str = ""
+    map: PhaseStats = field(default_factory=PhaseStats)
+    combine: PhaseStats = field(default_factory=PhaseStats)
+    reduce: PhaseStats = field(default_factory=PhaseStats)
+    #: Bytes moved across the simulated network during the shuffle
+    #: (the map-output bytes after combining).
+    shuffle_bytes: int = 0
+    #: Number of distinct reduce keys.
+    reduce_groups: int = 0
+    #: Size, in records, of the longest reduce value list.
+    max_group_records: int = 0
+    #: Size, in bytes, of the longest reduce value list.
+    max_group_bytes: int = 0
+    #: Bytes of side data (for example a lookup table) loaded by every task.
+    side_data_bytes: int = 0
+    #: Number of machines the job ran on.
+    num_machines: int = 0
+    #: Peak memory required by any single task, in bytes.
+    peak_task_memory: int = 0
+    #: Total intermediate bytes written to local disks.
+    spilled_bytes: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Simulated run time in seconds, filled in by the cost model.
+    simulated_seconds: float = 0.0
+
+    def merge_counters(self, counters: dict[str, int]) -> None:
+        """Accumulate counter values into this job's counter map."""
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+
+@dataclass
+class PipelineStats:
+    """Aggregated statistics over a multi-job pipeline."""
+
+    name: str = ""
+    jobs: list[JobStats] = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated run time of all jobs in the pipeline."""
+        return sum(job.simulated_seconds for job in self.jobs)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        """Total bytes shuffled across all jobs."""
+        return sum(job.shuffle_bytes for job in self.jobs)
+
+    @property
+    def total_map_records(self) -> int:
+        """Total records consumed by all map phases."""
+        return sum(job.map.records_in for job in self.jobs)
+
+    def job(self, name: str) -> JobStats:
+        """Return the stats of the job called ``name``."""
+        for stats in self.jobs:
+            if stats.job_name == name:
+                return stats
+        raise KeyError(f"no job named {name!r} in pipeline {self.name!r}")
+
+    def counters(self) -> dict[str, int]:
+        """Return all counters summed across jobs."""
+        merged: dict[str, int] = {}
+        for job in self.jobs:
+            for key, value in job.counters.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged

@@ -1,0 +1,61 @@
+"""Nominal Similarity Measures and exact evaluation helpers."""
+
+from repro.similarity.base import (
+    NominalSimilarityMeasure,
+    PartialDescriptor,
+    PartialKind,
+    validate_threshold,
+)
+from repro.similarity.exact import (
+    all_pairs_exact,
+    compute_partials,
+    compute_similarity,
+    pair_dictionary,
+)
+from repro.similarity.measures import (
+    DirectRuzickaSimilarity,
+    JaccardSimilarity,
+    MultisetCosineSimilarity,
+    MultisetDiceSimilarity,
+    OverlapSimilarity,
+    RuzickaSimilarity,
+    SetCosineSimilarity,
+    SetDiceSimilarity,
+    SetOverlapSimilarity,
+    VectorCosineSimilarity,
+    WeightedJaccardSimilarity,
+)
+from repro.similarity.registry import (
+    available_measures,
+    get_measure,
+    iter_measures,
+    register_measure,
+    supported_measures,
+)
+
+__all__ = [
+    "DirectRuzickaSimilarity",
+    "JaccardSimilarity",
+    "MultisetCosineSimilarity",
+    "MultisetDiceSimilarity",
+    "NominalSimilarityMeasure",
+    "OverlapSimilarity",
+    "PartialDescriptor",
+    "PartialKind",
+    "RuzickaSimilarity",
+    "SetCosineSimilarity",
+    "SetDiceSimilarity",
+    "SetOverlapSimilarity",
+    "VectorCosineSimilarity",
+    "WeightedJaccardSimilarity",
+    "all_pairs_exact",
+    "available_measures",
+    "compute_partials",
+    "compute_similarity",
+    "get_measure",
+    "iter_measures",
+    "pair_dictionary",
+    "register_measure",
+    "supported_measures",
+    "validate_threshold",
+]

@@ -1,0 +1,229 @@
+"""The Nominal Similarity Measure (NSM) framework of the paper's Eqn. 1.
+
+Section 3 of the paper observes that every similarity measure in common use
+for sets, multisets and vectors is *nominal* — agnostic to the order of the
+alphabet (the Shuffling Invariant Property) — and can therefore be written
+as
+
+    Sim(Mi, Mj) = F( agg_1(g_1(f_ik, f_jk)), ..., agg_L(g_L(f_ik, f_jk)) )
+
+where each ``g_l`` is a per-element function of the two multiplicities and
+each aggregator folds the per-element values over the alphabet.  The key
+insight (section 3.2) is a classification of the ``g_l`` functions:
+
+* **unilateral** — computable from a scan of one multiset only
+  (e.g. ``|Mi|``), so they can be accumulated for all multisets in a single
+  pass over the dataset;
+* **conjunctive** — computable from a scan of the intersection
+  ``U(Mi ∩ Mj)`` (e.g. ``|Mi ∩ Mj|``), so they can be accumulated for all
+  candidate pairs from an inverted index;
+* **disjunctive** — require a scan of the union ``U(Mi ∪ Mj)``
+  (e.g. ``max(f_ik, f_jk)``); neither V-SMART-Join nor any published
+  distributed algorithm handles these in general, and the paper rewrites
+  measures (Ruzicka) to avoid them.
+
+:class:`NominalSimilarityMeasure` captures exactly the hooks the
+V-SMART-Join framework needs:
+
+* :meth:`uni_from_multiplicity` / :meth:`uni_merge` — streaming computation
+  of the unilateral partial results ``Uni(Mi)`` (associative merge so that
+  MapReduce combiners can pre-aggregate);
+* :meth:`conj_from_pair` / :meth:`conj_merge` — streaming computation of the
+  conjunctive partial results ``Conj(Mi, Mj)`` over shared elements;
+* :meth:`combine` — the ``F()`` function producing the final similarity.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Tuple
+
+from repro.core.exceptions import MeasureNotApplicableError
+from repro.core.multiset import Multiset
+
+Partials = Tuple[float, ...]
+
+
+class PartialKind(Enum):
+    """Classification of a partial-result function ``g_l`` (paper §3.2)."""
+
+    UNILATERAL = "unilateral"
+    CONJUNCTIVE = "conjunctive"
+    DISJUNCTIVE = "disjunctive"
+
+
+@dataclass(frozen=True)
+class PartialDescriptor:
+    """A human-readable description of one ``g_l`` / aggregator pair.
+
+    These descriptors document how a measure decomposes into Eqn. 1 and are
+    used by tests to check that no supported measure declares a disjunctive
+    partial.
+    """
+
+    name: str
+    kind: PartialKind
+    aggregator: str = "sum"
+    description: str = ""
+
+
+class NominalSimilarityMeasure(ABC):
+    """Base class for all Nominal Similarity Measures.
+
+    Concrete measures define how the unilateral and conjunctive partial
+    results are accumulated per element and how ``F()`` combines them.  The
+    default merge operations are element-wise sums, which matches every
+    measure discussed in the paper and keeps combiner semantics trivial.
+    """
+
+    #: Unique registry name of the measure (e.g. ``"ruzicka"``).
+    name: str = "abstract"
+
+    #: Whether the measure operates on the underlying set (multiplicities
+    #: collapsed to one) rather than on raw multiplicities.
+    uses_underlying_set: bool = False
+
+    #: Whether the measure fundamentally needs a disjunctive partial.  Such
+    #: measures can still be evaluated exactly in memory but are rejected by
+    #: the MapReduce drivers.
+    requires_disjunctive: bool = False
+
+    # -- per-element hooks ---------------------------------------------------
+
+    @abstractmethod
+    def uni_from_multiplicity(self, multiplicity: float) -> Partials:
+        """Per-element contribution of ``f_{i,k}`` to ``Uni(Mi)``."""
+
+    @abstractmethod
+    def conj_from_pair(self, multiplicity_i: float,
+                       multiplicity_j: float) -> Partials:
+        """Per-shared-element contribution of ``(f_ik, f_jk)`` to ``Conj``."""
+
+    @abstractmethod
+    def combine(self, uni_i: Partials, uni_j: Partials,
+                conj: Partials) -> float:
+        """The ``F()`` function of Eqn. 1: combine partials into a similarity."""
+
+    @abstractmethod
+    def partial_descriptors(self) -> list[PartialDescriptor]:
+        """Describe the ``g_l`` functions this measure aggregates."""
+
+    # -- merge operations (associative; combiner-safe) -----------------------
+
+    def uni_zero(self) -> Partials:
+        """The identity element for :meth:`uni_merge`."""
+        return tuple(0.0 for _ in self.uni_from_multiplicity(1.0))
+
+    def conj_zero(self) -> Partials:
+        """The identity element for :meth:`conj_merge`."""
+        return tuple(0.0 for _ in self.conj_from_pair(1.0, 1.0))
+
+    def uni_merge(self, left: Partials, right: Partials) -> Partials:
+        """Merge two partial ``Uni`` accumulations (element-wise sum)."""
+        return tuple(a + b for a, b in zip(left, right, strict=True))
+
+    def conj_merge(self, left: Partials, right: Partials) -> Partials:
+        """Merge two partial ``Conj`` accumulations (element-wise sum)."""
+        return tuple(a + b for a, b in zip(left, right, strict=True))
+
+    # -- effective multiplicities ---------------------------------------------
+
+    def effective_multiplicity(self, multiplicity: float) -> float:
+        """Map a raw multiplicity to the value the measure operates on.
+
+        Set-flavoured measures collapse every positive multiplicity to one,
+        implementing the paper's note that sets are the special case of
+        multisets with unit multiplicities.
+        """
+        if multiplicity <= 0:
+            return 0.0
+        return 1.0 if self.uses_underlying_set else float(multiplicity)
+
+    # -- whole-entity convenience API ----------------------------------------
+
+    def unilateral(self, entity: Multiset | Iterable[tuple[object, float]]) -> Partials:
+        """Compute ``Uni(Mi)`` by scanning one entity.
+
+        Accepts a :class:`Multiset` or any iterable of
+        ``(element, multiplicity)`` pairs.
+        """
+        items = entity.items() if isinstance(entity, Multiset) else entity
+        accumulator = self.uni_zero()
+        for _element, multiplicity in items:
+            effective = self.effective_multiplicity(multiplicity)
+            if effective > 0:
+                accumulator = self.uni_merge(
+                    accumulator, self.uni_from_multiplicity(effective))
+        return accumulator
+
+    def conjunctive(self, entity_i: Multiset, entity_j: Multiset) -> Partials:
+        """Compute ``Conj(Mi, Mj)`` by scanning the shared elements."""
+        accumulator = self.conj_zero()
+        for element in entity_i.common_elements(entity_j):
+            effective_i = self.effective_multiplicity(entity_i.multiplicity(element))
+            effective_j = self.effective_multiplicity(entity_j.multiplicity(element))
+            accumulator = self.conj_merge(
+                accumulator, self.conj_from_pair(effective_i, effective_j))
+        return accumulator
+
+    def similarity(self, entity_i: Multiset, entity_j: Multiset) -> float:
+        """Exact similarity of two in-memory multisets (reference path)."""
+        return self.combine(self.unilateral(entity_i),
+                            self.unilateral(entity_j),
+                            self.conjunctive(entity_i, entity_j))
+
+    # -- prefix-filtering support (used by VCL / PPJoin baselines) -----------
+
+    def size_lower_bound(self, size: float, threshold: float) -> float:
+        """Smallest entity size that can still reach ``threshold`` with ``size``.
+
+        This is the size-filtering bound (Arasu et al. [2]); measures that do
+        not admit one return zero, disabling the filter.
+        """
+        return 0.0
+
+    def minimum_overlap(self, size_i: float, size_j: float,
+                        threshold: float) -> float:
+        """Minimal intersection size needed for two entities to be similar.
+
+        Used by the positional/suffix filters of the PPJoin-style baselines.
+        Measures that do not admit a bound return zero.
+        """
+        return 0.0
+
+    def prefix_size(self, size: int, threshold: float) -> int:
+        """Prefix length for prefix filtering (Chaudhuri et al. [10]).
+
+        The prefix of an entity, under a global element ordering, is the
+        smallest leading portion such that two entities sharing *no* prefix
+        element cannot reach the threshold.  The default (no bound known)
+        returns the full size, which degenerates to "index everything".
+        """
+        return int(size)
+
+    # -- misc -----------------------------------------------------------------
+
+    def check_supported(self) -> None:
+        """Raise if this measure cannot be handled by the MapReduce drivers."""
+        if self.requires_disjunctive:
+            raise MeasureNotApplicableError(
+                f"measure {self.name!r} requires a disjunctive partial result "
+                "and cannot be computed by the V-SMART-Join framework "
+                "(paper section 3.2); use the exact in-memory evaluator instead")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_threshold(threshold: float) -> float:
+    """Validate a similarity threshold ``t`` and return it as a float.
+
+    Thresholds must lie in ``(0, 1]``; the paper sweeps 0.1 – 0.9.
+    """
+    value = float(threshold)
+    if not (0.0 < value <= 1.0) or not math.isfinite(value):
+        raise ValueError(f"similarity threshold must be in (0, 1], got {threshold!r}")
+    return value

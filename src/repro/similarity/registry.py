@@ -1,0 +1,87 @@
+"""Registry of Nominal Similarity Measures, addressable by name.
+
+The experiment harness and the example scripts refer to measures by short
+names (``"ruzicka"``, ``"jaccard"``, ...).  The registry keeps a single
+shared instance per measure since measures are stateless.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.exceptions import UnknownMeasureError
+from repro.similarity.base import NominalSimilarityMeasure
+from repro.similarity.measures import (
+    DirectRuzickaSimilarity,
+    JaccardSimilarity,
+    MultisetCosineSimilarity,
+    MultisetDiceSimilarity,
+    OverlapSimilarity,
+    RuzickaSimilarity,
+    SetCosineSimilarity,
+    SetDiceSimilarity,
+    SetOverlapSimilarity,
+    VectorCosineSimilarity,
+    WeightedJaccardSimilarity,
+)
+
+_MEASURE_CLASSES: tuple[type[NominalSimilarityMeasure], ...] = (
+    RuzickaSimilarity,
+    WeightedJaccardSimilarity,
+    JaccardSimilarity,
+    MultisetDiceSimilarity,
+    SetDiceSimilarity,
+    MultisetCosineSimilarity,
+    SetCosineSimilarity,
+    VectorCosineSimilarity,
+    OverlapSimilarity,
+    SetOverlapSimilarity,
+    DirectRuzickaSimilarity,
+)
+
+_REGISTRY: dict[str, NominalSimilarityMeasure] = {
+    cls.name: cls() for cls in _MEASURE_CLASSES
+}
+
+
+def get_measure(name: str | NominalSimilarityMeasure) -> NominalSimilarityMeasure:
+    """Look up a measure by name; measure instances pass through unchanged."""
+    if isinstance(name, NominalSimilarityMeasure):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownMeasureError(
+            f"unknown similarity measure {name!r}; known measures: {known}") from None
+
+
+def available_measures() -> list[str]:
+    """Return the sorted names of all registered measures."""
+    return sorted(_REGISTRY)
+
+
+def supported_measures() -> list[str]:
+    """Return the names of measures usable by the MapReduce drivers.
+
+    Measures with a disjunctive partial (``direct_ruzicka``) are excluded,
+    matching the paper's scope (section 3.2).
+    """
+    return sorted(name for name, measure in _REGISTRY.items()
+                  if not measure.requires_disjunctive)
+
+
+def register_measure(measure: NominalSimilarityMeasure,
+                     replace: bool = False) -> None:
+    """Register a user-defined measure instance under ``measure.name``."""
+    if not replace and measure.name in _REGISTRY:
+        raise UnknownMeasureError(
+            f"measure name {measure.name!r} is already registered; "
+            "pass replace=True to overwrite")
+    _REGISTRY[measure.name] = measure
+
+
+def iter_measures() -> Iterable[tuple[str, NominalSimilarityMeasure]]:
+    """Iterate over ``(name, measure)`` pairs in name order."""
+    for name in sorted(_REGISTRY):
+        yield name, _REGISTRY[name]

@@ -1,0 +1,51 @@
+"""Super-element grouping for VCL (paper section 6.2).
+
+To shrink the alphabet that VCL mappers must hold in memory, Vernica et al.
+proposed hashing elements into a fixed number of *super-elements* and
+running prefix filtering on the grouped representation.  Grouping makes the
+prefixes coarser, so pairs that share a prefix super-element without sharing
+a prefix element ("superfluous pairs") reach the reducers and must be weeded
+out by exact verification — which, as the paper's experiments showed,
+consistently costs more than the memory it saves.  The ablation benchmark
+``bench_ablation_vcl_grouping`` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multiset import Multiset
+from repro.mapreduce.partitioner import stable_hash
+
+
+@dataclass(frozen=True)
+class SuperElementGrouping:
+    """Hash-based grouping of alphabet elements into super-elements.
+
+    ``num_groups`` is the size of the super-element alphabet; one element per
+    group (i.e. no grouping) is the configuration the VCL authors ended up
+    recommending.
+    """
+
+    num_groups: int
+
+    def __post_init__(self) -> None:
+        if self.num_groups < 1:
+            raise ValueError("num_groups must be at least 1")
+
+    def group_of(self, element: object) -> int:
+        """The super-element identifier of an alphabet element."""
+        return stable_hash(element, salt="vcl-grouping") % self.num_groups
+
+    def group_multiset(self, multiset: Multiset) -> Multiset:
+        """Rewrite a multiset over super-elements (multiplicities summed).
+
+        The grouped representation never underestimates similarity for the
+        min/sum measures used here, so prefix filtering on it cannot lose
+        pairs — it only admits superfluous candidates.
+        """
+        grouped: dict[int, int] = {}
+        for element, multiplicity in multiset.items():
+            group = self.group_of(element)
+            grouped[group] = grouped.get(group, 0) + multiplicity
+        return Multiset(multiset.id, grouped)

@@ -1,0 +1,68 @@
+"""Shared helpers for the joining-phase algorithms.
+
+All three joining algorithms accumulate the unilateral partial results
+``Uni(Mi)`` by summing per-element contributions; these helpers centralise
+that logic together with the dedicated combiners that pre-aggregate the
+contributions on the mapper machines (the paper's main lever for balancing
+the reducers that handle multisets with vast underlying cardinalities).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.mapreduce.job import Combiner, TaskContext
+from repro.similarity.base import NominalSimilarityMeasure, Partials
+
+
+def uni_contribution(measure: NominalSimilarityMeasure,
+                     multiplicity: float) -> Partials:
+    """Per-element contribution of a multiplicity to ``Uni(Mi)``.
+
+    Applies the measure's effective-multiplicity mapping first, so set
+    measures contribute one per distinct element regardless of multiplicity.
+    """
+    return measure.uni_from_multiplicity(measure.effective_multiplicity(multiplicity))
+
+
+def merge_uni(measure: NominalSimilarityMeasure,
+              contributions: Sequence[Partials]) -> Partials:
+    """Fold a sequence of ``Uni`` contributions with the measure's merge."""
+    accumulator = measure.uni_zero()
+    for contribution in contributions:
+        accumulator = measure.uni_merge(accumulator, contribution)
+    return accumulator
+
+
+class UniSumCombiner(Combiner):
+    """Dedicated combiner summing ``Uni`` contribution tuples per multiset.
+
+    Used by Lookup1, whose map output values are plain contribution tuples.
+    """
+
+    def __init__(self, measure: NominalSimilarityMeasure) -> None:
+        self.measure = measure
+
+    def combine(self, key: object, values: Sequence[Partials],
+                context: TaskContext) -> Iterator[Partials]:
+        yield merge_uni(self.measure, values)
+
+
+class UniCountCombiner(Combiner):
+    """Dedicated combiner for ``(Uni contribution, element count)`` values.
+
+    Used by Sharding1, which needs both ``Uni(Mi)`` and the underlying
+    cardinality ``|U(Mi)|`` (to compare against the sharding threshold C).
+    """
+
+    def __init__(self, measure: NominalSimilarityMeasure) -> None:
+        self.measure = measure
+
+    def combine(self, key: object, values: Sequence[tuple[Partials, int]],
+                context: TaskContext) -> Iterator[tuple[Partials, int]]:
+        uni = self.measure.uni_zero()
+        count = 0
+        for contribution, elements in values:
+            uni = self.measure.uni_merge(uni, contribution)
+            count += elements
+        yield (uni, count)

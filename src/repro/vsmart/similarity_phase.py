@@ -1,0 +1,270 @@
+"""The shared V-SMART-Join similarity phase (paper section 4).
+
+The similarity phase is common to all three joining algorithms and consists
+of two MapReduce steps:
+
+* **Similarity1** builds an inverted index on the alphabet elements, where
+  each posting carries the multiset identifier, its unilateral partial
+  results ``Uni(Mi)`` and the element multiplicity; the reducer scans each
+  element's posting list and emits every candidate pair sharing that
+  element, together with both ``Uni`` tuples and both multiplicities.
+* **Similarity2** groups those records by pair, aggregates the conjunctive
+  partial results ``Conj(Mi, Mj)`` (pre-aggregated by a dedicated combiner),
+  applies the measure's ``F()`` function and keeps the pairs whose
+  similarity reaches the threshold.
+
+Two load-balancing refinements from the paper are implemented:
+
+* an optional *chunked* Similarity1 reducer: an element whose posting list
+  exceeds a chunk size is dissected into ``T`` chunks and all unordered
+  chunk pairs are emitted; the Similarity2 mappers then expand each chunk
+  pair into candidate pairs, moving the quadratic work off the single
+  overloaded reducer (section 4, last paragraphs);
+* an optional stop-word limit: elements whose posting list exceeds ``q``
+  are dropped entirely (the dedicated preprocessing job in
+  :mod:`repro.vsmart.preprocessing` is the paper's preferred way to do this,
+  but the in-reducer guard is kept for ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.records import JoinedTuple, PairContribution, PairKey, PostingEntry, SimilarPair
+from repro.mapreduce.job import Combiner, JobSpec, Mapper, Reducer, TaskContext
+from repro.similarity.base import NominalSimilarityMeasure, validate_threshold
+
+
+@dataclass(frozen=True)
+class ChunkPairRecord:
+    """A pair of posting-list chunks emitted by an overloaded Similarity1 reducer.
+
+    ``first_chunk`` and ``second_chunk`` are tuples of
+    :class:`~repro.core.records.PostingEntry`; ``same_chunk`` marks the
+    diagonal case where both sides are the same chunk (so the expansion must
+    only produce ordered pairs within it).
+    """
+
+    element: object
+    first_chunk: tuple
+    second_chunk: tuple
+    same_chunk: bool
+
+
+@dataclass(frozen=True)
+class SimilarityPhaseConfig:
+    """Tunables of the similarity phase.
+
+    ``chunk_size`` enables the chunked reducer for posting lists longer than
+    the given number of entries; ``stop_word_frequency`` drops elements whose
+    posting list exceeds the given length (``None`` disables either feature).
+    """
+
+    chunk_size: int | None = None
+    stop_word_frequency: int | None = None
+    use_combiners: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_size is not None and self.chunk_size < 2:
+            raise ValueError("chunk_size must be at least 2 posting entries")
+        if self.stop_word_frequency is not None and self.stop_word_frequency < 1:
+            raise ValueError("stop_word_frequency must be at least 1")
+
+
+# ---------------------------------------------------------------------------
+# Similarity1
+# ---------------------------------------------------------------------------
+
+
+class Similarity1Mapper(Mapper):
+    """``mapSimilarity1``: re-key joined tuples by their alphabet element.
+
+    ``<Mi, Uni(Mi), m_ik>  ->  <a_k, <Mi, Uni(Mi), f_ik>>``
+    """
+
+    def map(self, record: JoinedTuple, context: TaskContext) -> Iterator[tuple]:
+        yield (record.element,
+               PostingEntry(record.multiset_id, record.uni, record.multiplicity))
+
+
+class Similarity1Reducer(Reducer):
+    """``reduceSimilarity1``: emit candidate pairs for each element.
+
+    For every unordered pair of postings in the element's reduce value list
+    the reducer outputs ``<<Mi, Mj, Uni(Mi), Uni(Mj)>, <f_ik, f_jk>>``.
+    Without chunking the posting list must be materialised, so the runner's
+    memory budget applies (exactly the thrashing risk the paper describes);
+    with chunking the list is dissected and only chunk pairs are emitted.
+    """
+
+    def __init__(self, config: SimilarityPhaseConfig | None = None) -> None:
+        self.config = config or SimilarityPhaseConfig()
+        self.materializes_input = self.config.chunk_size is None
+
+    def reduce(self, key: object, values: Sequence[PostingEntry],
+               context: TaskContext) -> Iterator[object]:
+        postings = list(values)
+        frequency = len(postings)
+        context.increment("similarity1/elements", 1)
+        stop_limit = self.config.stop_word_frequency
+        if stop_limit is not None and frequency > stop_limit:
+            context.increment("similarity1/stop_words_dropped", 1)
+            context.increment("similarity1/stop_word_postings_dropped", frequency)
+            return
+        chunk_size = self.config.chunk_size
+        if chunk_size is not None and frequency > chunk_size:
+            yield from self._emit_chunk_pairs(key, postings, chunk_size, context)
+            return
+        for index_i in range(frequency):
+            posting_i = postings[index_i]
+            for index_j in range(index_i + 1, frequency):
+                posting_j = postings[index_j]
+                if posting_i.multiset_id == posting_j.multiset_id:
+                    continue
+                context.increment("similarity1/candidate_records", 1)
+                yield _pair_record(posting_i, posting_j)
+
+    def _emit_chunk_pairs(self, element: object, postings: list[PostingEntry],
+                          chunk_size: int,
+                          context: TaskContext) -> Iterator[ChunkPairRecord]:
+        chunks = [tuple(postings[start:start + chunk_size])
+                  for start in range(0, len(postings), chunk_size)]
+        context.increment("similarity1/chunked_elements", 1)
+        context.increment("similarity1/chunks", len(chunks))
+        for index_p, chunk_p in enumerate(chunks):
+            for index_q in range(index_p, len(chunks)):
+                yield ChunkPairRecord(element=element,
+                                      first_chunk=chunk_p,
+                                      second_chunk=chunks[index_q],
+                                      same_chunk=index_p == index_q)
+
+
+def _pair_record(posting_i: PostingEntry,
+                 posting_j: PostingEntry) -> tuple[PairKey, PairContribution]:
+    """Build the canonical ``(PairKey, PairContribution)`` record for a pair."""
+    key = PairKey.make(posting_i.multiset_id, posting_i.uni,
+                       posting_j.multiset_id, posting_j.uni)
+    if key.first == posting_i.multiset_id:
+        contribution = PairContribution(posting_i.multiplicity, posting_j.multiplicity)
+    else:
+        contribution = PairContribution(posting_j.multiplicity, posting_i.multiplicity)
+    return (key, contribution)
+
+
+# ---------------------------------------------------------------------------
+# Similarity2
+# ---------------------------------------------------------------------------
+
+
+class Similarity2Mapper(Mapper):
+    """``mapSimilarity2``: identity on pair records, expansion of chunk pairs.
+
+    Normal Similarity1 output passes through unchanged.  Chunk-pair records
+    (flagged output of an overloaded Similarity1 reducer) are expanded here
+    into the candidate pair records the overloaded reducer did not produce,
+    which redistributes the quadratic work across many mappers.
+
+    The emitted value is the per-element conjunctive contribution
+    ``g_l(f_ik, f_jk)`` of the measure rather than the raw multiplicity pair,
+    so that the dedicated combiner can pre-aggregate with a plain sum — the
+    same network saving the paper attributes to its combiners.
+    """
+
+    def __init__(self, measure: NominalSimilarityMeasure) -> None:
+        self.measure = measure
+
+    def map(self, record: object, context: TaskContext) -> Iterator[tuple]:
+        if isinstance(record, ChunkPairRecord):
+            yield from self._expand_chunks(record, context)
+            return
+        key, contribution = record
+        yield (key, self._conj(contribution))
+
+    def _conj(self, contribution: PairContribution) -> tuple:
+        return self.measure.conj_from_pair(
+            self.measure.effective_multiplicity(contribution.multiplicity_first),
+            self.measure.effective_multiplicity(contribution.multiplicity_second))
+
+    def _expand_chunks(self, record: ChunkPairRecord,
+                       context: TaskContext) -> Iterator[tuple]:
+        first = record.first_chunk
+        second = record.second_chunk
+        for index_i, posting_i in enumerate(first):
+            start = index_i + 1 if record.same_chunk else 0
+            for posting_j in second[start:]:
+                if posting_i.multiset_id == posting_j.multiset_id:
+                    continue
+                context.increment("similarity2/chunk_expanded_records", 1)
+                key, contribution = _pair_record(posting_i, posting_j)
+                yield (key, self._conj(contribution))
+
+
+class ConjunctiveCombiner(Combiner):
+    """Dedicated combiner summing conjunctive contributions per pair."""
+
+    def __init__(self, measure: NominalSimilarityMeasure) -> None:
+        self.measure = measure
+
+    def combine(self, key: PairKey, values: Sequence[tuple],
+                context: TaskContext) -> Iterator[tuple]:
+        accumulator = self.measure.conj_zero()
+        for value in values:
+            accumulator = self.measure.conj_merge(accumulator, value)
+        yield accumulator
+
+
+class Similarity2Reducer(Reducer):
+    """``reduceSimilarity2``: combine partials into the final similarity.
+
+    The reduce key carries ``Uni(Mi)`` and ``Uni(Mj)``; the value list holds
+    the (possibly pre-combined) conjunctive contributions of every shared
+    element.  Pairs reaching the threshold are emitted as
+    :class:`~repro.core.records.SimilarPair`.
+    """
+
+    def __init__(self, measure: NominalSimilarityMeasure, threshold: float) -> None:
+        self.measure = measure
+        self.threshold = validate_threshold(threshold)
+
+    def reduce(self, key: PairKey, values: Sequence[tuple],
+               context: TaskContext) -> Iterator[SimilarPair]:
+        conj = self.measure.conj_zero()
+        for value in values:
+            conj = self.measure.conj_merge(conj, value)
+        similarity = self.measure.combine(key.uni_first, key.uni_second, conj)
+        context.increment("similarity2/pairs_evaluated", 1)
+        if similarity >= self.threshold:
+            context.increment("similarity2/pairs_output", 1)
+            yield SimilarPair(key.first, key.second, similarity)
+
+
+# ---------------------------------------------------------------------------
+# Job builders
+# ---------------------------------------------------------------------------
+
+
+def build_similarity1_job(config: SimilarityPhaseConfig | None = None,
+                          name: str = "similarity1",
+                          mapper: Mapper | None = None) -> JobSpec:
+    """Build the Similarity1 job.
+
+    ``mapper`` can be overridden so that a joining algorithm (Lookup) whose
+    last step already produces element-keyed postings can fuse its map stage
+    with Similarity1 and save a MapReduce step, as the paper describes.
+    """
+    return JobSpec(name=name,
+                   mapper=mapper or Similarity1Mapper(),
+                   reducer=Similarity1Reducer(config))
+
+
+def build_similarity2_job(measure: NominalSimilarityMeasure, threshold: float,
+                          config: SimilarityPhaseConfig | None = None,
+                          name: str = "similarity2") -> JobSpec:
+    """Build the Similarity2 job for a measure and threshold."""
+    resolved_config = config or SimilarityPhaseConfig()
+    combiner = ConjunctiveCombiner(measure) if resolved_config.use_combiners else None
+    return JobSpec(name=name,
+                   mapper=Similarity2Mapper(measure),
+                   reducer=Similarity2Reducer(measure, threshold),
+                   combiner=combiner)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.multiset import Multiset
+from repro.mapreduce.cluster import GOOGLE_MAPREDUCE, HADOOP, Cluster, laptop_cluster
+
+
+def make_random_multisets(count: int, alphabet_size: int, max_elements: int,
+                          max_multiplicity: int = 5, seed: int = 0) -> list[Multiset]:
+    """Build a deterministic random collection of multisets for tests."""
+    rng = random.Random(seed)
+    multisets = []
+    for index in range(count):
+        num_elements = rng.randint(1, max_elements)
+        counts: dict[str, int] = {}
+        for _ in range(num_elements):
+            element = f"e{rng.randint(0, alphabet_size - 1)}"
+            counts[element] = rng.randint(1, max_multiplicity)
+        multisets.append(Multiset(f"m{index}", counts))
+    return multisets
+
+
+@pytest.fixture
+def small_multisets() -> list[Multiset]:
+    """Forty small random multisets over a 60-element alphabet."""
+    return make_random_multisets(40, alphabet_size=60, max_elements=25, seed=7)
+
+
+@pytest.fixture
+def overlapping_multisets() -> list[Multiset]:
+    """A handful of hand-built multisets with known overlaps."""
+    return [
+        Multiset("a", {"x": 3, "y": 2, "z": 1}),
+        Multiset("b", {"x": 3, "y": 2, "z": 1}),
+        Multiset("c", {"x": 1, "y": 1}),
+        Multiset("d", {"q": 4, "r": 2}),
+        Multiset("e", {"q": 4, "r": 2, "x": 1}),
+    ]
+
+
+@pytest.fixture
+def test_cluster() -> Cluster:
+    """A small Google-profile cluster with generous memory for unit tests."""
+    return laptop_cluster(num_machines=6)
+
+
+@pytest.fixture
+def hadoop_cluster() -> Cluster:
+    """A Hadoop-profile cluster (no secondary keys)."""
+    return laptop_cluster(num_machines=6, profile=HADOOP)
+
+
+@pytest.fixture
+def tight_memory_cluster() -> Cluster:
+    """A cluster whose per-machine memory budget is deliberately tiny."""
+    return Cluster(num_machines=4, memory_per_machine=2_000,
+                   disk_per_machine=10_000_000, profile=GOOGLE_MAPREDUCE)

@@ -1,0 +1,159 @@
+"""Tests for the sequential baseline algorithms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import BruteForceJoin
+from repro.baselines.inverted_index import InvertedIndexJoin
+from repro.baselines.minhash import (
+    LSHParameters,
+    MinHashLSHJoin,
+    estimate_similarity,
+    minhash_signature,
+)
+from repro.baselines.ppjoin import PPJoin
+from repro.core.exceptions import MeasureNotApplicableError
+from repro.core.multiset import Multiset
+from repro.similarity.exact import all_pairs_exact, pair_dictionary
+from tests.conftest import make_random_multisets
+
+
+class TestBruteForce:
+    def test_matches_exact_helper(self, small_multisets):
+        join = BruteForceJoin("ruzicka", 0.3)
+        assert join.run(small_multisets) == all_pairs_exact(small_multisets, "ruzicka", 0.3)
+
+
+class TestInvertedIndex:
+    @pytest.mark.parametrize("measure", ["ruzicka", "jaccard", "dice", "cosine"])
+    def test_matches_brute_force(self, small_multisets, measure):
+        join = InvertedIndexJoin(measure, 0.3)
+        expected = pair_dictionary(all_pairs_exact(small_multisets, measure, 0.3))
+        produced = pair_dictionary(join.run(small_multisets))
+        assert produced.keys() == expected.keys()
+
+    def test_size_filter_does_not_change_results(self, small_multisets):
+        filtered = InvertedIndexJoin("ruzicka", 0.4, use_size_filter=True)
+        unfiltered = InvertedIndexJoin("ruzicka", 0.4, use_size_filter=False)
+        assert pair_dictionary(filtered.run(small_multisets)) == pair_dictionary(
+            unfiltered.run(small_multisets))
+
+    def test_stop_word_skipping_loses_only_stop_word_pairs(self):
+        multisets = [Multiset(f"m{i}", {"shared": 1, f"own{i}": 1}) for i in range(5)]
+        join = InvertedIndexJoin("jaccard", 0.3, stop_word_frequency=3)
+        assert join.run(multisets) == []
+        assert join.last_candidates == 0
+
+    def test_candidate_counter(self, small_multisets):
+        join = InvertedIndexJoin("ruzicka", 0.3)
+        join.run(small_multisets)
+        assert join.last_candidates > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_random_agreement(self, seed):
+        multisets = make_random_multisets(15, alphabet_size=20, max_elements=10, seed=seed)
+        produced = {p.pair for p in InvertedIndexJoin("ruzicka", 0.4).run(multisets)}
+        expected = {p.pair for p in all_pairs_exact(multisets, "ruzicka", 0.4)}
+        assert produced == expected
+
+
+class TestPPJoin:
+    @pytest.mark.parametrize("measure", ["ruzicka", "jaccard", "dice", "cosine"])
+    @pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
+    def test_matches_brute_force(self, small_multisets, measure, threshold):
+        join = PPJoin(measure, threshold)
+        expected = pair_dictionary(all_pairs_exact(small_multisets, measure, threshold))
+        produced = pair_dictionary(join.run(small_multisets))
+        assert produced.keys() == expected.keys()
+        for key in produced:
+            assert produced[key] == pytest.approx(expected[key])
+
+    def test_prunes_candidates_compared_to_inverted_index(self, small_multisets):
+        inverted = InvertedIndexJoin("ruzicka", 0.7, use_size_filter=False)
+        prefix = PPJoin("ruzicka", 0.7)
+        inverted.run(small_multisets)
+        prefix.run(small_multisets)
+        assert prefix.last_candidates <= inverted.last_candidates
+
+    def test_filters_can_be_disabled(self, small_multisets):
+        loose = PPJoin("ruzicka", 0.5, use_positional_filter=False, use_size_filter=False)
+        strict = PPJoin("ruzicka", 0.5)
+        assert pair_dictionary(loose.run(small_multisets)) == pair_dictionary(
+            strict.run(small_multisets))
+        assert strict.last_candidates <= loose.last_candidates
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000), st.sampled_from([0.3, 0.5, 0.8]))
+    def test_random_agreement(self, seed, threshold):
+        multisets = make_random_multisets(15, alphabet_size=18, max_elements=10, seed=seed)
+        produced = {p.pair for p in PPJoin("ruzicka", threshold).run(multisets)}
+        expected = {p.pair for p in all_pairs_exact(multisets, "ruzicka", threshold)}
+        assert produced == expected
+
+
+class TestMinHash:
+    def test_signature_deterministic(self):
+        multiset = Multiset("m", {"a": 2, "b": 1})
+        assert minhash_signature(multiset, 16, True) == minhash_signature(multiset, 16, True)
+
+    def test_identical_multisets_have_identical_signatures(self):
+        first = Multiset("a", {"x": 2, "y": 1})
+        second = Multiset("b", {"x": 2, "y": 1})
+        assert (minhash_signature(first, 32, True)
+                == minhash_signature(second, 32, True))
+        assert estimate_similarity(minhash_signature(first, 32, True),
+                                   minhash_signature(second, 32, True)) == 1.0
+
+    def test_estimate_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            estimate_similarity((1, 2), (1,))
+
+    def test_signature_validation(self):
+        with pytest.raises(ValueError):
+            minhash_signature(Multiset("m", {"a": 1}), 0, True)
+
+    def test_lsh_parameters(self):
+        params = LSHParameters(num_bands=4, rows_per_band=2)
+        assert params.num_hashes == 8
+        assert params.collision_probability(1.0) == pytest.approx(1.0)
+        assert params.collision_probability(0.0) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            LSHParameters(num_bands=0)
+
+    def test_unsupported_measure_rejected(self):
+        with pytest.raises(MeasureNotApplicableError):
+            MinHashLSHJoin(measure="vector_cosine")
+
+    def test_finds_near_duplicates(self):
+        base = {f"e{i}": 1 for i in range(40)}
+        nearly = dict(base)
+        nearly["extra"] = 1
+        multisets = [Multiset("orig", base), Multiset("copy", nearly),
+                     Multiset("other", {f"z{i}": 1 for i in range(40)})]
+        join = MinHashLSHJoin("jaccard", 0.8, LSHParameters(8, 4), verify_exact=True)
+        pairs = {p.pair for p in join.run(multisets)}
+        assert ("copy", "orig") in pairs
+        assert all("other" not in pair for pair in pairs)
+
+    def test_verify_exact_gives_exact_similarities(self):
+        first = Multiset("a", {"x": 1, "y": 1})
+        second = Multiset("b", {"x": 1, "y": 1, "z": 1})
+        join = MinHashLSHJoin("jaccard", 0.5, LSHParameters(16, 2), verify_exact=True)
+        produced = pair_dictionary(join.run([first, second]))
+        assert produced[("a", "b")] == pytest.approx(2 / 3)
+
+    def test_ruzicka_mode_uses_set_expansion(self):
+        first = Multiset("a", {"x": 4})
+        second = Multiset("b", {"x": 2})
+        join = MinHashLSHJoin("ruzicka", 0.3, LSHParameters(16, 2), verify_exact=True)
+        produced = pair_dictionary(join.run([first, second]))
+        assert produced[("a", "b")] == pytest.approx(0.5)
+
+    def test_candidate_counter_updated(self, small_multisets):
+        join = MinHashLSHJoin("ruzicka", 0.5, LSHParameters(8, 2))
+        join.run(small_multisets)
+        assert join.last_candidates >= 0

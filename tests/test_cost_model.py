@@ -1,0 +1,232 @@
+"""Tests for the cost model, cluster descriptions and size estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import JobConfigurationError
+from repro.mapreduce.cluster import (
+    GIGABYTE,
+    GOOGLE_MAPREDUCE,
+    HADOOP,
+    Cluster,
+    laptop_cluster,
+    paper_cluster,
+)
+from repro.mapreduce.costmodel import CostModel, CostParameters
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.dfs import Dataset
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.partitioner import (
+    first_component_partitioner,
+    hash_partitioner,
+    round_robin_assigner,
+    stable_hash,
+)
+from repro.mapreduce.runner import LocalJobRunner
+from repro.mapreduce.types import JobStats, KeyValue, PhaseStats, estimate_record_bytes
+from tests.test_mapreduce_runner import WordCountMapper, WordCountReducer
+
+
+class TestCostModel:
+    def make_stats(self) -> JobStats:
+        stats = JobStats(job_name="test")
+        stats.map.add_machine_work(0, 1_000_000)
+        stats.map.add_machine_work(1, 500_000)
+        stats.reduce.add_machine_work(0, 2_000_000)
+        stats.shuffle_bytes = 4_000_000
+        stats.max_group_bytes = 100_000
+        stats.side_data_bytes = 1_000_000
+        return stats
+
+    def test_breakdown_components_positive(self):
+        model = CostModel()
+        breakdown = model.job_cost(self.make_stats(), Cluster(num_machines=10))
+        assert breakdown.overhead_seconds > 0
+        assert breakdown.map_seconds > 0
+        assert breakdown.reduce_seconds > 0
+        assert breakdown.shuffle_seconds > 0
+        assert breakdown.side_data_seconds > 0
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.overhead_seconds + breakdown.side_data_seconds
+            + breakdown.map_seconds + breakdown.shuffle_seconds
+            + breakdown.reduce_seconds)
+
+    def test_more_machines_never_slower_for_shuffle(self):
+        model = CostModel()
+        small = model.job_cost(self.make_stats(), Cluster(num_machines=10))
+        large = model.job_cost(self.make_stats(), Cluster(num_machines=100))
+        assert large.shuffle_seconds <= small.shuffle_seconds
+
+    def test_side_data_cost_independent_of_machines(self):
+        model = CostModel()
+        small = model.job_cost(self.make_stats(), Cluster(num_machines=10))
+        large = model.job_cost(self.make_stats(), Cluster(num_machines=1000))
+        assert small.side_data_seconds == pytest.approx(large.side_data_seconds)
+
+    def test_critical_path_lower_bounded_by_max_unit(self):
+        stats = JobStats(job_name="skewed")
+        stats.map.add_machine_work(0, 100.0)
+        stats.map.max_unit_work = 1_000_000.0
+        model = CostModel()
+        breakdown = model.job_cost(stats, Cluster(num_machines=1000))
+        assert breakdown.map_seconds >= 1_000_000.0 / model.parameters.machine_throughput
+
+    def test_annotate_fills_simulated_seconds(self):
+        stats = self.make_stats()
+        CostModel().annotate(stats, Cluster(num_machines=10))
+        assert stats.simulated_seconds > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostParameters(machine_throughput=0)
+        with pytest.raises(ValueError):
+            CostParameters(job_overhead_seconds=-1)
+
+
+class TestPhaseStats:
+    def test_machine_work_accounting(self):
+        stats = PhaseStats()
+        stats.add_machine_work(0, 10.0)
+        stats.add_machine_work(0, 5.0)
+        stats.add_machine_work(1, 3.0)
+        assert stats.max_machine_work == 15.0
+        assert stats.work_units == 18.0
+        assert stats.max_unit_work == 10.0
+        assert stats.skew == pytest.approx(15.0 / 9.0)
+
+    def test_empty_phase(self):
+        stats = PhaseStats()
+        assert stats.max_machine_work == 0.0
+        assert stats.skew == 0.0
+
+
+class TestCluster:
+    def test_paper_cluster_defaults(self):
+        cluster = paper_cluster()
+        assert cluster.num_machines == 500
+        assert cluster.memory_per_machine == GIGABYTE
+        assert cluster.profile is GOOGLE_MAPREDUCE
+
+    def test_with_methods_return_copies(self):
+        cluster = laptop_cluster()
+        bigger = cluster.with_machines(64)
+        assert bigger.num_machines == 64
+        assert cluster.num_machines != 64
+        assert cluster.with_profile(HADOOP).profile is HADOOP
+        assert cluster.with_memory(123).memory_per_machine == 123
+        assert cluster.with_scheduler_limit(5.0).scheduler_limit_seconds == 5.0
+
+    def test_totals(self):
+        cluster = Cluster(num_machines=4, memory_per_machine=10, disk_per_machine=20)
+        assert cluster.total_memory == 40
+        assert cluster.total_disk == 80
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_machines": 0},
+        {"memory_per_machine": 0},
+        {"disk_per_machine": -1},
+        {"scheduler_limit_seconds": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(JobConfigurationError):
+            Cluster(**kwargs)
+
+    def test_profiles(self):
+        assert GOOGLE_MAPREDUCE.supports_secondary_keys
+        assert not HADOOP.supports_secondary_keys
+
+
+class TestSizeEstimation:
+    def test_primitives(self):
+        assert estimate_record_bytes(None) == 1
+        assert estimate_record_bytes(True) == 1
+        assert estimate_record_bytes(7) == 8
+        assert estimate_record_bytes(3.14) == 8
+        assert estimate_record_bytes("abcd") == 8
+
+    def test_containers_grow_with_content(self):
+        assert estimate_record_bytes([1, 2, 3]) > estimate_record_bytes([1])
+        assert estimate_record_bytes({"a": 1, "b": 2}) > estimate_record_bytes({"a": 1})
+
+    def test_dataclass_estimates(self):
+        record = KeyValue("key", (1.0, 2.0))
+        assert estimate_record_bytes(record) > 0
+
+    def test_size_hint_protocol(self):
+        class Hinted:
+            def estimated_bytes(self):
+                return 12345
+
+        assert estimate_record_bytes(Hinted()) == 12345
+
+
+class TestPartitioners:
+    def test_stable_hash_is_process_independent(self):
+        assert stable_hash("cookie") == stable_hash("cookie")
+        assert stable_hash("cookie", salt="a") != stable_hash("cookie", salt="b")
+
+    def test_hash_partitioner_in_range(self):
+        for key in ("a", ("tuple", 1), 42):
+            assert 0 <= hash_partitioner(key, 7) < 7
+
+    def test_hash_partitioner_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            hash_partitioner("a", 0)
+
+    def test_first_component_partitioner_groups_by_first_element(self):
+        assert (first_component_partitioner(("k", 1), 13)
+                == first_component_partitioner(("k", 2), 13))
+
+    def test_round_robin(self):
+        assert [round_robin_assigner(i, 3) for i in range(5)] == [0, 1, 2, 0, 1]
+        with pytest.raises(ValueError):
+            round_robin_assigner(1, 0)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        dataset = Dataset.from_records([1, 2, 3], name="numbers")
+        assert dataset.name == "numbers"
+        assert len(dataset) == 3
+        assert dataset[1] == 2
+        assert list(dataset) == [1, 2, 3]
+        assert dataset.total_bytes > 0
+
+    def test_map_filter_concat(self):
+        dataset = Dataset.from_records([1, 2, 3])
+        doubled = dataset.map_records(lambda value: value * 2)
+        assert list(doubled) == [2, 4, 6]
+        evens = dataset.filter_records(lambda value: value % 2 == 0)
+        assert list(evens) == [2]
+        combined = dataset.concat(doubled)
+        assert len(combined) == 6
+
+
+class TestCountersAndPipelineStats:
+    def test_counters_merge(self):
+        first = Counters()
+        first.increment("a", 2)
+        second = Counters()
+        second.increment("a", 3)
+        second.increment("b")
+        first.merge(second)
+        assert first.as_dict() == {"a": 5, "b": 1}
+        assert "a" in first
+        assert len(first) == 2
+
+    def test_pipeline_result_aggregation(self, test_cluster):
+        runner = LocalJobRunner(test_cluster)
+        job = JobSpec("wc", WordCountMapper(), WordCountReducer())
+        first = runner.run(job, Dataset.from_records(["a b"]))
+        second = runner.run(job, Dataset.from_records(["c d"]))
+        from repro.mapreduce.runner import PipelineResult
+
+        pipeline = PipelineResult(name="p", output=second.output,
+                                  job_stats=[first.stats, second.stats])
+        assert pipeline.simulated_seconds == pytest.approx(
+            first.stats.simulated_seconds + second.stats.simulated_seconds)
+        assert pipeline.stats_for("wc") is first.stats
+        with pytest.raises(KeyError):
+            pipeline.stats_for("missing")
+        assert pipeline.counters()["words_seen"] == 4

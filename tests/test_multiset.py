@@ -1,0 +1,249 @@
+"""Unit and property tests for the Multiset data model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import InvalidMultisetError
+from repro.core.multiset import Multiset, multiset_collection_statistics
+
+
+def multiset_strategy(identifier: str = "m"):
+    """Hypothesis strategy generating small multisets."""
+    return st.dictionaries(
+        st.sampled_from([f"e{i}" for i in range(12)]),
+        st.integers(min_value=1, max_value=6),
+        min_size=1, max_size=8,
+    ).map(lambda counts: Multiset(identifier, counts))
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        multiset = Multiset("ip1", {"a": 2, "b": 1})
+        assert multiset.id == "ip1"
+        assert multiset["a"] == 2
+        assert multiset.multiplicity("b") == 1
+        assert multiset.multiplicity("missing") == 0
+
+    def test_from_pairs(self):
+        multiset = Multiset("ip1", [("a", 2), ("b", 3)])
+        assert multiset.cardinality == 5
+
+    def test_from_iterable_counts_occurrences(self):
+        multiset = Multiset.from_iterable("ip", ["a", "b", "a", "a"])
+        assert multiset["a"] == 3
+        assert multiset["b"] == 1
+
+    def test_from_set_gives_unit_multiplicities(self):
+        multiset = Multiset.from_set("ip", ["a", "b", "a"])
+        assert multiset.counts() == {"a": 1, "b": 1}
+
+    def test_from_counts_classmethod(self):
+        assert Multiset.from_counts("x", {"a": 1}) == Multiset("x", {"a": 1})
+
+    def test_zero_multiplicity_rejected(self):
+        with pytest.raises(InvalidMultisetError):
+            Multiset("ip", {"a": 0})
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(InvalidMultisetError):
+            Multiset("ip", {"a": -1})
+
+    def test_non_integer_multiplicity_rejected(self):
+        with pytest.raises(InvalidMultisetError):
+            Multiset("ip", {"a": 1.5})
+
+    def test_boolean_multiplicity_rejected(self):
+        with pytest.raises(InvalidMultisetError):
+            Multiset("ip", {"a": True})
+
+    def test_duplicate_elements_in_pairs_rejected(self):
+        with pytest.raises(InvalidMultisetError):
+            Multiset("ip", [("a", 1), ("a", 2)])
+
+    def test_empty_multiset_allowed(self):
+        multiset = Multiset("ip", {})
+        assert multiset.cardinality == 0
+        assert multiset.underlying_cardinality == 0
+
+
+class TestCardinalities:
+    def test_cardinality_is_sum_of_multiplicities(self):
+        multiset = Multiset("ip", {"a": 2, "b": 3, "c": 1})
+        assert multiset.cardinality == 6
+
+    def test_underlying_cardinality_counts_distinct_elements(self):
+        multiset = Multiset("ip", {"a": 10, "b": 1})
+        assert multiset.underlying_cardinality == 2
+
+    def test_underlying_set(self):
+        multiset = Multiset("ip", {"a": 2, "b": 1})
+        assert multiset.underlying_set == frozenset({"a", "b"})
+
+    def test_mapping_protocol(self):
+        multiset = Multiset("ip", {"a": 2, "b": 1})
+        assert len(multiset) == 2
+        assert set(multiset) == {"a", "b"}
+        assert "a" in multiset
+        assert "z" not in multiset
+
+
+class TestPairwiseOperations:
+    def test_intersection_cardinality(self):
+        first = Multiset("a", {"x": 3, "y": 1})
+        second = Multiset("b", {"x": 1, "y": 4, "z": 2})
+        assert first.intersection_cardinality(second) == 1 + 1
+
+    def test_union_cardinality(self):
+        first = Multiset("a", {"x": 3, "y": 1})
+        second = Multiset("b", {"x": 1, "y": 4, "z": 2})
+        assert first.union_cardinality(second) == 3 + 4 + 2
+
+    def test_symmetric_difference(self):
+        first = Multiset("a", {"x": 3, "y": 1})
+        second = Multiset("b", {"x": 1, "y": 4, "z": 2})
+        assert first.symmetric_difference_cardinality(second) == 2 + 3 + 2
+
+    def test_dot_product(self):
+        first = Multiset("a", {"x": 3, "y": 1})
+        second = Multiset("b", {"x": 2, "z": 5})
+        assert first.dot_product(second) == 6
+
+    def test_underlying_intersection_and_union(self):
+        first = Multiset("a", {"x": 3, "y": 1})
+        second = Multiset("b", {"x": 1, "z": 2})
+        assert first.underlying_intersection_cardinality(second) == 1
+        assert first.underlying_union_cardinality(second) == 3
+
+    def test_common_elements(self):
+        first = Multiset("a", {"x": 3, "y": 1})
+        second = Multiset("b", {"y": 1, "z": 2})
+        assert first.common_elements(second) == ["y"]
+
+    def test_operations_are_symmetric(self):
+        first = Multiset("a", {"x": 3, "y": 1, "w": 2})
+        second = Multiset("b", {"x": 1, "z": 2})
+        assert (first.intersection_cardinality(second)
+                == second.intersection_cardinality(first))
+        assert first.union_cardinality(second) == second.union_cardinality(first)
+        assert first.dot_product(second) == second.dot_product(first)
+
+
+class TestTransformations:
+    def test_restrict(self):
+        multiset = Multiset("ip", {"a": 2, "b": 1, "c": 4})
+        restricted = multiset.restrict({"a", "c"})
+        assert restricted.counts() == {"a": 2, "c": 4}
+        assert restricted.id == "ip"
+
+    def test_without_elements(self):
+        multiset = Multiset("ip", {"a": 2, "b": 1})
+        assert multiset.without_elements({"a"}).counts() == {"b": 1}
+
+    def test_underlying_multiset(self):
+        multiset = Multiset("ip", {"a": 5, "b": 2})
+        assert multiset.underlying_multiset().counts() == {"a": 1, "b": 1}
+
+    def test_set_expansion(self):
+        multiset = Multiset("ip", {"a": 2, "b": 1})
+        assert multiset.set_expansion() == frozenset({("a", 1), ("a", 2), ("b", 1)})
+
+    def test_set_expansion_jaccard_equals_ruzicka(self):
+        first = Multiset("a", {"x": 3, "y": 1})
+        second = Multiset("b", {"x": 1, "y": 2, "z": 1})
+        expansion_first = first.set_expansion()
+        expansion_second = second.set_expansion()
+        jaccard = (len(expansion_first & expansion_second)
+                   / len(expansion_first | expansion_second))
+        intersection = first.intersection_cardinality(second)
+        ruzicka = intersection / first.union_cardinality(second)
+        assert jaccard == pytest.approx(ruzicka)
+
+    def test_scaled(self):
+        multiset = Multiset("ip", {"a": 2})
+        assert multiset.scaled(3).counts() == {"a": 6}
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(InvalidMultisetError):
+            Multiset("ip", {"a": 2}).scaled(0)
+
+    def test_with_id(self):
+        multiset = Multiset("ip", {"a": 2})
+        renamed = multiset.with_id("other")
+        assert renamed.id == "other"
+        assert renamed.counts() == multiset.counts()
+
+    def test_to_tuples(self):
+        multiset = Multiset("ip", {"a": 2, "b": 1})
+        assert sorted(multiset.to_tuples()) == [("ip", "a", 2), ("ip", "b", 1)]
+
+
+class TestEqualityAndRepr:
+    def test_equality_includes_id(self):
+        assert Multiset("a", {"x": 1}) != Multiset("b", {"x": 1})
+        assert Multiset("a", {"x": 1}) == Multiset("a", {"x": 1})
+
+    def test_hashable(self):
+        collection = {Multiset("a", {"x": 1}), Multiset("a", {"x": 1})}
+        assert len(collection) == 1
+
+    def test_repr_mentions_id_and_sizes(self):
+        text = repr(Multiset("ip9", {"a": 2, "b": 1}))
+        assert "ip9" in text
+        assert "|M|=3" in text
+
+    def test_estimated_bytes_positive_and_cached(self):
+        multiset = Multiset("ip", {"abc": 2, "de": 1})
+        first = multiset.estimated_bytes()
+        assert first > 0
+        assert multiset.estimated_bytes() == first
+
+
+class TestCollectionStatistics:
+    def test_statistics_on_collection(self):
+        stats = multiset_collection_statistics([
+            Multiset("a", {"x": 1, "y": 2}),
+            Multiset("b", {"x": 4}),
+        ])
+        assert stats["num_multisets"] == 2
+        assert stats["num_elements"] == 2
+        assert stats["num_incidences"] == 3
+        assert stats["total_cardinality"] == 7
+        assert stats["max_underlying_cardinality"] == 2
+        assert stats["min_underlying_cardinality"] == 1
+
+    def test_statistics_empty(self):
+        stats = multiset_collection_statistics([])
+        assert stats["num_multisets"] == 0
+        assert stats["mean_underlying_cardinality"] == 0.0
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(multiset_strategy("a"), multiset_strategy("b"))
+    def test_inclusion_exclusion(self, first, second):
+        assert (first.intersection_cardinality(second)
+                + first.union_cardinality(second)
+                == first.cardinality + second.cardinality)
+
+    @settings(max_examples=60, deadline=None)
+    @given(multiset_strategy("a"), multiset_strategy("b"))
+    def test_intersection_bounded_by_cardinalities(self, first, second):
+        intersection = first.intersection_cardinality(second)
+        assert 0 <= intersection <= min(first.cardinality, second.cardinality)
+
+    @settings(max_examples=60, deadline=None)
+    @given(multiset_strategy("a"))
+    def test_self_operations(self, multiset):
+        assert multiset.intersection_cardinality(multiset) == multiset.cardinality
+        assert multiset.union_cardinality(multiset) == multiset.cardinality
+        assert multiset.symmetric_difference_cardinality(multiset) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(multiset_strategy("a"), multiset_strategy("b"))
+    def test_set_expansion_sizes(self, first, second):
+        assert len(first.set_expansion()) == first.cardinality
+        expansion_intersection = len(first.set_expansion() & second.set_expansion())
+        assert expansion_intersection == first.intersection_cardinality(second)

@@ -1,0 +1,148 @@
+"""Tests for the shared V-SMART-Join similarity phase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import JoinedTuple, PairContribution, PairKey
+from repro.mapreduce.dfs import Dataset
+from repro.mapreduce.runner import LocalJobRunner
+from repro.similarity.exact import all_pairs_exact, pair_dictionary
+from repro.similarity.registry import get_measure
+from repro.vsmart.similarity_phase import (
+    ChunkPairRecord,
+    Similarity1Reducer,
+    SimilarityPhaseConfig,
+    build_similarity1_job,
+    build_similarity2_job,
+)
+
+
+def joined_tuples_for(multisets, measure):
+    """Join Uni(Mi) to every element in memory (the joining phase's output)."""
+    records = []
+    for multiset in multisets:
+        uni = measure.unilateral(multiset)
+        for element, multiplicity in multiset.items():
+            records.append(JoinedTuple(multiset.id, uni, element, multiplicity))
+    return records
+
+
+def run_similarity_phase(multisets, measure_name, threshold, cluster,
+                         config=None):
+    measure = get_measure(measure_name)
+    runner = LocalJobRunner(cluster)
+    joined = Dataset.from_records(joined_tuples_for(multisets, measure))
+    sim1 = runner.run(build_similarity1_job(config), joined)
+    sim2 = runner.run(build_similarity2_job(measure, threshold, config), sim1.output)
+    return sorted(sim2.output.records), sim1, sim2
+
+
+class TestSimilarityPhaseEndToEnd:
+    @pytest.mark.parametrize("measure_name", ["ruzicka", "jaccard", "dice", "cosine",
+                                              "vector_cosine"])
+    def test_matches_exact_join(self, small_multisets, test_cluster, measure_name):
+        threshold = 0.3
+        pairs, _sim1, _sim2 = run_similarity_phase(
+            small_multisets, measure_name, threshold, test_cluster)
+        expected = pair_dictionary(all_pairs_exact(small_multisets, measure_name, threshold))
+        produced = pair_dictionary(pairs)
+        assert set(produced) == set(expected)
+        for key, value in produced.items():
+            assert value == pytest.approx(expected[key])
+
+    def test_threshold_filters_pairs(self, overlapping_multisets, test_cluster):
+        low, _, _ = run_similarity_phase(overlapping_multisets, "ruzicka", 0.1,
+                                         test_cluster)
+        high, _, _ = run_similarity_phase(overlapping_multisets, "ruzicka", 0.95,
+                                          test_cluster)
+        assert {p.pair for p in high} <= {p.pair for p in low}
+
+    def test_counters_exposed(self, overlapping_multisets, test_cluster):
+        _pairs, sim1, sim2 = run_similarity_phase(
+            overlapping_multisets, "ruzicka", 0.5, test_cluster)
+        assert sim1.stats.counters["similarity1/elements"] > 0
+        assert sim2.stats.counters["similarity2/pairs_evaluated"] > 0
+
+    def test_combiners_do_not_change_results(self, small_multisets, test_cluster):
+        with_combiner, _, _ = run_similarity_phase(
+            small_multisets, "ruzicka", 0.3, test_cluster,
+            SimilarityPhaseConfig(use_combiners=True))
+        without_combiner, _, _ = run_similarity_phase(
+            small_multisets, "ruzicka", 0.3, test_cluster,
+            SimilarityPhaseConfig(use_combiners=False))
+        assert pair_dictionary(with_combiner).keys() == pair_dictionary(without_combiner).keys()
+        for key in pair_dictionary(with_combiner):
+            assert pair_dictionary(with_combiner)[key] == pytest.approx(
+                pair_dictionary(without_combiner)[key])
+
+
+class TestChunking:
+    def test_chunked_reducer_produces_same_pairs(self, small_multisets, test_cluster):
+        plain, _, _ = run_similarity_phase(small_multisets, "ruzicka", 0.3, test_cluster)
+        chunked, sim1, _ = run_similarity_phase(
+            small_multisets, "ruzicka", 0.3, test_cluster,
+            SimilarityPhaseConfig(chunk_size=3))
+        assert pair_dictionary(plain) == pair_dictionary(chunked)
+        assert sim1.stats.counters.get("similarity1/chunked_elements", 0) > 0
+
+    def test_chunked_reducer_is_streaming(self):
+        reducer = Similarity1Reducer(SimilarityPhaseConfig(chunk_size=4))
+        assert reducer.materializes_input is False
+        plain = Similarity1Reducer()
+        assert plain.materializes_input is True
+
+    def test_chunk_pair_counts(self):
+        from repro.core.records import PostingEntry
+        from repro.mapreduce.counters import Counters
+        from repro.mapreduce.job import TaskContext
+
+        reducer = Similarity1Reducer(SimilarityPhaseConfig(chunk_size=2))
+        postings = [PostingEntry(f"m{i}", (1.0,), 1.0) for i in range(5)]
+        context = TaskContext(Counters())
+        records = list(reducer.reduce("element", postings, context))
+        assert all(isinstance(record, ChunkPairRecord) for record in records)
+        # 3 chunks (2, 2, 1) -> 3 diagonal + 3 cross pairs = 6 chunk pairs.
+        assert len(records) == 6
+        assert sum(1 for record in records if record.same_chunk) == 3
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            SimilarityPhaseConfig(chunk_size=1)
+
+
+class TestStopWordsInReducer:
+    def test_stop_word_limit_drops_frequent_elements(self, test_cluster):
+        from repro.core.multiset import Multiset
+
+        multisets = [Multiset(f"m{i}", {"popular": 1, f"rare{i}": 1}) for i in range(6)]
+        with_limit, sim1, _ = run_similarity_phase(
+            multisets, "jaccard", 0.1, test_cluster,
+            SimilarityPhaseConfig(stop_word_frequency=3))
+        without_limit, _, _ = run_similarity_phase(
+            multisets, "jaccard", 0.1, test_cluster)
+        assert len(with_limit) < len(without_limit)
+        assert sim1.stats.counters["similarity1/stop_words_dropped"] == 1
+
+    def test_invalid_stop_word_threshold(self):
+        with pytest.raises(ValueError):
+            SimilarityPhaseConfig(stop_word_frequency=0)
+
+
+class TestPairRecords:
+    def test_pair_key_contribution_alignment(self):
+        from repro.core.records import PostingEntry
+        from repro.vsmart.similarity_phase import _pair_record
+
+        posting_z = PostingEntry("zeta", (9.0,), 5.0)
+        posting_a = PostingEntry("alpha", (4.0,), 2.0)
+        key, contribution = _pair_record(posting_z, posting_a)
+        assert key == PairKey("alpha", "zeta", (4.0,), (9.0,))
+        assert contribution == PairContribution(2.0, 5.0)
+
+    def test_duplicate_multiset_in_posting_list_not_paired_with_itself(self, test_cluster):
+        from repro.core.multiset import Multiset
+
+        multisets = [Multiset("only", {"x": 2})]
+        pairs, _, _ = run_similarity_phase(multisets, "ruzicka", 0.1, test_cluster)
+        assert pairs == []

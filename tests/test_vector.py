@@ -1,0 +1,117 @@
+"""Unit tests for the SparseVector data model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exceptions import InvalidVectorError
+from repro.core.multiset import Multiset
+from repro.core.vector import SparseVector
+
+
+class TestConstruction:
+    def test_basic(self):
+        vector = SparseVector("v1", {"a": 2.0, "b": 1.5})
+        assert vector.id == "v1"
+        assert vector["a"] == 2.0
+        assert vector.weight("missing") == 0.0
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector("v", {"a": 0.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector("v", {"a": -1.0})
+
+    def test_non_finite_weight_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector("v", {"a": float("nan")})
+
+    def test_duplicate_dimension_rejected(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector("v", [("a", 1.0), ("a", 2.0)])
+
+    def test_from_multiset(self):
+        vector = SparseVector.from_multiset(Multiset("m", {"a": 3, "b": 1}))
+        assert vector.id == "m"
+        assert vector["a"] == 3.0
+
+    def test_unit_normalisation(self):
+        vector = SparseVector.unit("v", {"a": 3.0, "b": 4.0})
+        assert vector.l2_norm == pytest.approx(1.0)
+        assert vector["a"] == pytest.approx(0.6)
+
+
+class TestNormsAndSupport:
+    def test_l1_and_l2(self):
+        vector = SparseVector("v", {"a": 3.0, "b": 4.0})
+        assert vector.l1_norm == pytest.approx(7.0)
+        assert vector.l2_norm == pytest.approx(5.0)
+
+    def test_support(self):
+        vector = SparseVector("v", {"a": 3.0, "b": 4.0})
+        assert vector.support == frozenset({"a", "b"})
+        assert vector.support_size == 2
+        assert len(vector) == 2
+        assert set(vector) == {"a", "b"}
+        assert "a" in vector
+
+
+class TestPairwise:
+    def test_dot(self):
+        first = SparseVector("a", {"x": 2.0, "y": 1.0})
+        second = SparseVector("b", {"x": 3.0, "z": 5.0})
+        assert first.dot(second) == pytest.approx(6.0)
+        assert first.dot(second) == second.dot(first)
+
+    def test_min_and_max_sums(self):
+        first = SparseVector("a", {"x": 2.0, "y": 1.0})
+        second = SparseVector("b", {"x": 3.0, "z": 5.0})
+        assert first.min_sum(second) == pytest.approx(2.0)
+        assert first.max_sum(second) == pytest.approx(3.0 + 1.0 + 5.0)
+
+    def test_cosine(self):
+        first = SparseVector("a", {"x": 1.0})
+        second = SparseVector("b", {"x": 1.0})
+        third = SparseVector("c", {"y": 1.0})
+        assert first.cosine(second) == pytest.approx(1.0)
+        assert first.cosine(third) == pytest.approx(0.0)
+
+    def test_cosine_matches_manual_computation(self):
+        first = SparseVector("a", {"x": 2.0, "y": 1.0})
+        second = SparseVector("b", {"x": 1.0, "y": 3.0})
+        expected = (2 * 1 + 1 * 3) / (math.sqrt(5) * math.sqrt(10))
+        assert first.cosine(second) == pytest.approx(expected)
+
+
+class TestConversions:
+    def test_to_multiset_exact(self):
+        vector = SparseVector("v", {"a": 2.0, "b": 1.0})
+        assert vector.to_multiset().counts() == {"a": 2, "b": 1}
+
+    def test_to_multiset_exact_rejects_fractional(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector("v", {"a": 1.5}).to_multiset()
+
+    def test_to_multiset_round(self):
+        assert SparseVector("v", {"a": 1.4}).to_multiset("round").counts() == {"a": 1}
+
+    def test_to_multiset_unknown_mode(self):
+        with pytest.raises(InvalidVectorError):
+            SparseVector("v", {"a": 1.0}).to_multiset("banana")
+
+    def test_to_tuples(self):
+        vector = SparseVector("v", {"a": 2.0})
+        assert vector.to_tuples() == [("v", "a", 2.0)]
+
+    def test_roundtrip_with_multiset(self):
+        multiset = Multiset("m", {"a": 3, "b": 1})
+        assert SparseVector.from_multiset(multiset).to_multiset() == multiset
+
+    def test_equality_and_hash(self):
+        assert SparseVector("v", {"a": 1.0}) == SparseVector("v", {"a": 1.0})
+        assert SparseVector("v", {"a": 1.0}) != SparseVector("w", {"a": 1.0})
+        assert len({SparseVector("v", {"a": 1.0}), SparseVector("v", {"a": 1.0})}) == 1

@@ -16,6 +16,9 @@ depends on:
   phase;
 * :mod:`repro.vcl` — the VCL baseline (MapReduce PPJoin+ with prefix
   filtering);
+* :mod:`repro.serving` — the online similarity-serving subsystem: an
+  incrementally maintained partial-result index with threshold and top-k
+  queries, LRU-cached serving nodes and hash-sharded fan-out;
 * :mod:`repro.baselines` — sequential baselines (brute force, inverted
   index, PPJoin, MinHash/LSH);
 * :mod:`repro.datasets` — synthetic IP/cookie and document workload
@@ -37,17 +40,26 @@ Quickstart::
 
 from repro.core import InputTuple, Multiset, SimilarPair, SparseVector
 from repro.mapreduce import Cluster, laptop_cluster, paper_cluster
+from repro.serving import (
+    ServingNode,
+    ShardedSimilarityService,
+    SimilarityIndex,
+    bootstrap_from_join,
+)
 from repro.similarity import all_pairs_exact, compute_similarity, get_measure
 from repro.vcl import VCLConfig, VCLJoin, vcl_join
 from repro.vsmart import VSmartJoin, VSmartJoinConfig, vsmart_join
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Cluster",
     "InputTuple",
     "Multiset",
+    "ServingNode",
+    "ShardedSimilarityService",
     "SimilarPair",
+    "SimilarityIndex",
     "SparseVector",
     "VCLConfig",
     "VCLJoin",
@@ -55,6 +67,7 @@ __all__ = [
     "VSmartJoinConfig",
     "__version__",
     "all_pairs_exact",
+    "bootstrap_from_join",
     "compute_similarity",
     "get_measure",
     "laptop_cluster",

@@ -108,5 +108,14 @@ class DatasetError(ReproError):
     """Raised by workload generators and loaders on invalid parameters."""
 
 
+class ServingError(ReproError):
+    """Raised by the online similarity-serving subsystem.
+
+    Covers configuration errors (invalid shard counts, incompatible
+    bootstrap inputs) and write errors such as adding a multiset under an
+    identifier that is already indexed.
+    """
+
+
 class CommunityError(ReproError):
     """Raised by the community-discovery post-processing utilities."""

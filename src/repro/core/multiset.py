@@ -295,6 +295,18 @@ class Multiset(Mapping):
                 for element, multiplicity in self._elements.items()]
 
 
+def content_signature(multiset: Multiset) -> frozenset:
+    """The content identity of a multiset: its (element, multiplicity) pairs.
+
+    The identifier is ignored, so two multisets with equal contents produce
+    equal signatures regardless of how they were constructed (the same
+    idiom :meth:`Multiset.__hash__` uses).  The serving layer keys its
+    result cache on this, and the workload statistics use it to count
+    distinct (cacheable) queries.
+    """
+    return frozenset(multiset.items())
+
+
 def multiset_collection_statistics(multisets: Iterable[Multiset]) -> dict[str, Any]:
     """Compute simple aggregate statistics over a collection of multisets.
 

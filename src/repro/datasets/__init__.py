@@ -33,6 +33,11 @@ from repro.datasets.stats import (
     skew_ratio,
     summarise_distribution,
 )
+from repro.datasets.workload import (
+    QueryWorkloadConfig,
+    generate_query_workload,
+    workload_statistics,
+)
 from repro.datasets.zipf import BoundedZipf, clipped_zipf_sizes
 
 __all__ = [
@@ -42,6 +47,7 @@ __all__ = [
     "DocumentCorpusConfig",
     "GeneratedDataset",
     "IPCookieConfig",
+    "QueryWorkloadConfig",
     "clipped_zipf_sizes",
     "dataset_label",
     "elements_per_multiset",
@@ -49,6 +55,7 @@ __all__ = [
     "generate_document_corpus",
     "generate_ip_cookie_dataset",
     "generate_preset",
+    "generate_query_workload",
     "input_tuples",
     "log_binned_histogram",
     "multisets_per_element",
@@ -60,6 +67,7 @@ __all__ = [
     "skew_ratio",
     "small_dataset_config",
     "summarise_distribution",
+    "workload_statistics",
     "write_input_tuples",
     "write_multisets",
     "write_similar_pairs",

@@ -1,0 +1,108 @@
+"""Query-workload generation for the serving benchmarks.
+
+Online similarity traffic is as skewed as the data itself: a few hot
+entities are queried over and over (the proxies everybody investigates)
+while the long tail is touched once.  The generator reproduces that with a
+bounded Zipf distribution over the indexed multisets — the same machinery
+as the dataset generators (:mod:`repro.datasets.zipf`) — so the serving
+benchmarks exercise realistic cache behaviour: repeated queries hit the LRU
+result cache, the tail misses it.
+
+Optionally, a fraction of the queries are *perturbed* copies of their source
+multiset (an element dropped, a multiplicity bumped), modelling lookups for
+entities that drifted since the index was built; perturbed queries defeat
+the result cache, bounding the hit rate the way fresh traffic does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.core.multiset import Multiset, content_signature
+from repro.datasets.zipf import BoundedZipf
+
+
+@dataclass(frozen=True)
+class QueryWorkloadConfig:
+    """Parameters of a synthetic query replay."""
+
+    num_queries: int = 1_000
+    #: Zipf exponent of the query popularity ranks (1.0+ = heavy repeats).
+    zipf_exponent: float = 1.2
+    #: Probability that a query is a perturbed copy of its source multiset.
+    perturbation_probability: float = 0.0
+    #: Random seed.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise DatasetError(
+                f"num_queries must be non-negative, got {self.num_queries}")
+        if self.zipf_exponent <= 0:
+            raise DatasetError(
+                f"zipf_exponent must be positive, got {self.zipf_exponent}")
+        if not (0.0 <= self.perturbation_probability <= 1.0):
+            raise DatasetError("perturbation_probability must be in [0, 1]")
+
+
+def generate_query_workload(multisets: Sequence[Multiset],
+                            config: QueryWorkloadConfig | None = None,
+                            ) -> list[Multiset]:
+    """Generate a Zipf-skewed replay of queries against ``multisets``.
+
+    Each query is a copy of a member multiset (under a fresh ``q<i>``
+    identifier so queries never collide with indexed entities), drawn with
+    Zipf-skewed popularity: the member at popularity rank 1 is queried far
+    more often than the tail.  Popularity ranks are a random permutation of
+    the members, so hot queries are not biased toward any generation order.
+    """
+    config = config or QueryWorkloadConfig()
+    if not multisets:
+        raise DatasetError("cannot generate a query workload over no multisets")
+    rng = np.random.default_rng(config.seed)
+    rank_to_member = rng.permutation(len(multisets))
+    distribution = BoundedZipf(len(multisets), config.zipf_exponent)
+    ranks = distribution.sample(rng, config.num_queries)
+
+    queries: list[Multiset] = []
+    for position, rank in enumerate(ranks):
+        source = multisets[int(rank_to_member[int(rank) - 1])]
+        query = source.with_id(f"q{position:06d}")
+        if (config.perturbation_probability > 0.0
+                and rng.random() < config.perturbation_probability):
+            query = _perturb(query, rng)
+        queries.append(query)
+    return queries
+
+
+def _perturb(query: Multiset, rng: np.random.Generator) -> Multiset:
+    """Return a slightly drifted copy: drop one element, bump another."""
+    counts = query.counts()
+    if not counts:
+        return query
+    if len(counts) > 1:
+        elements = list(counts)
+        del counts[elements[int(rng.integers(0, len(elements)))]]
+    bumped = list(counts)[int(rng.integers(0, len(counts)))]
+    counts[bumped] += 1
+    return Multiset(query.id, counts)
+
+
+def workload_statistics(queries: Sequence[Multiset]) -> dict[str, float]:
+    """Summarise a workload: distinct signatures and repeat (cacheable) rate.
+
+    Distinctness uses the same content signature the serving result cache
+    keys on, so ``repeat_rate`` predicts the cache-hit ceiling of a replay.
+    """
+    signatures = {content_signature(query) for query in queries}
+    total = len(queries)
+    distinct = len(signatures)
+    return {
+        "num_queries": total,
+        "distinct_queries": distinct,
+        "repeat_rate": (total - distinct) / total if total else 0.0,
+    }

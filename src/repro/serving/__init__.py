@@ -1,0 +1,37 @@
+"""Online similarity serving: incremental indexes, caching nodes, sharded fleets.
+
+This subsystem turns the batch V-SMART-Join reproduction into a queryable
+service.  The same partial-result decomposition the joining phase exploits
+(unilateral ``Uni`` partials per multiset, conjunctive partials joined
+through an inverted posting structure) supports *incremental* maintenance,
+so "what is similar to Q?" is answered online without re-running the join:
+
+* :class:`SimilarityIndex` — the core incremental index with threshold and
+  top-k queries, stop-word posting pruning and upper-bound early
+  termination;
+* :class:`ServingNode` — an index behind an invalidating LRU result cache
+  with batched query execution;
+* :class:`ShardedSimilarityService` — hash-sharded multi-node fan-out;
+* :func:`bootstrap_from_join` — warm-start a fleet from a batch
+  :class:`~repro.vsmart.driver.VSmartJoinResult` or pipeline dataset.
+"""
+
+from repro.serving.bootstrap import bootstrap_from_join, multisets_from_input
+from repro.serving.cache import LRUResultCache
+from repro.serving.index import QueryMatch, SimilarityIndex, sort_matches
+from repro.serving.node import ServingNode, query_signature
+from repro.serving.service import SHARD_SALT, ShardedSimilarityService, shard_for
+
+__all__ = [
+    "LRUResultCache",
+    "QueryMatch",
+    "SHARD_SALT",
+    "ServingNode",
+    "ShardedSimilarityService",
+    "SimilarityIndex",
+    "bootstrap_from_join",
+    "multisets_from_input",
+    "query_signature",
+    "shard_for",
+    "sort_matches",
+]

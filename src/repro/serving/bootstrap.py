@@ -1,0 +1,165 @@
+"""Warm-starting a serving fleet from a batch join.
+
+The intended deployment story mirrors the paper's production setting: the
+batch V-SMART-Join pipeline runs periodically over the full log, and the
+online serving fleet is (re)built from its output.  :func:`bootstrap_from_join`
+covers both halves:
+
+* the *index* is built from the dataset itself — a pipeline
+  :class:`~repro.mapreduce.dfs.Dataset` of raw input tuples, raw
+  :class:`~repro.core.records.InputTuple` records, or assembled multisets;
+* when a :class:`~repro.vsmart.driver.VSmartJoinResult` is supplied, the
+  node caches are *warmed* from its similar pairs: for every indexed member
+  the threshold-query answer at the join threshold is already known (its
+  join partners, plus itself), so member queries hit the cache without ever
+  scanning a posting list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.exceptions import ServingError
+from repro.core.multiset import Multiset
+from repro.core.records import (
+    InputTuple,
+    assemble_multisets,
+    resolve_record_type,
+)
+from repro.mapreduce.dfs import Dataset
+from repro.serving.index import QueryMatch, sort_matches
+from repro.serving.service import ShardedSimilarityService
+from repro.similarity.base import NominalSimilarityMeasure
+from repro.similarity.registry import get_measure
+from repro.vsmart.driver import VSmartJoinResult
+
+
+def multisets_from_input(
+        data: Iterable[Multiset] | Dataset | Sequence[InputTuple] | Mapping,
+) -> list[Multiset]:
+    """Normalise any pipeline-input shape into a list of multisets."""
+    if isinstance(data, Mapping):
+        members = list(data.values())
+        if members:
+            resolve_record_type(members, (Multiset,), ServingError)
+        return members
+    if isinstance(data, Dataset):
+        return list(assemble_multisets(data.records).values())
+    materialised = list(data)
+    if not materialised:
+        return []
+    record_type = resolve_record_type(materialised, (Multiset, InputTuple),
+                                      ServingError)
+    if record_type is Multiset:
+        return materialised
+    return list(assemble_multisets(materialised).values())
+
+
+def bootstrap_from_join(
+        data: Iterable[Multiset] | Dataset | Sequence[InputTuple] | Mapping,
+        join_result: VSmartJoinResult | None = None,
+        *, measure: str | NominalSimilarityMeasure | None = None,
+        threshold: float | None = None,
+        num_shards: int = 1,
+        cache_capacity: int | None = None,
+        stop_word_frequency: int | None = None) -> ShardedSimilarityService:
+    """Build a serving fleet from batch data, optionally cache-warmed.
+
+    With ``join_result`` given, the measure and threshold default to the
+    join's configuration (explicit arguments must agree with it), and each
+    member's threshold-query answer is seeded into its shards' caches from
+    the join's similar pairs.  ``cache_capacity`` defaults to whatever is
+    large enough to hold every warmed entry (at least 1024); an explicit
+    capacity too small to hold the warm-up is rejected rather than letting
+    the LRU silently evict most of it.
+    """
+    if join_result is not None:
+        join_measure = get_measure(join_result.config.measure)
+        if measure is None:
+            measure = join_measure
+        elif get_measure(measure).name != join_measure.name:
+            raise ServingError(
+                f"bootstrap measure {get_measure(measure).name!r} does not "
+                f"match the join's measure {join_measure.name!r}")
+        if threshold is None:
+            threshold = join_result.config.threshold
+        elif threshold != join_result.config.threshold:
+            raise ServingError(
+                f"bootstrap threshold {threshold!r} does not match the "
+                f"join's threshold {join_result.config.threshold!r}")
+        if join_result.config.stop_word_frequency is not None:
+            raise ServingError(
+                "cannot warm caches from a join that discarded stop words: "
+                "its pairs were computed on filtered data and would not "
+                "match live query results")
+        if stop_word_frequency is not None:
+            raise ServingError(
+                "cannot warm caches for an index with stop-word pruning: "
+                "the join's exact pairs would not match what live queries "
+                "compute once the cache is invalidated")
+    else:
+        if threshold is not None:
+            raise ServingError(
+                "threshold is only meaningful together with a join_result "
+                "(it selects which cached answers to warm); queries take "
+                "their own threshold per call")
+        if measure is None:
+            measure = "ruzicka"
+
+    multisets = multisets_from_input(data)
+    # Each member warms one entry in every shard's cache, so each node needs
+    # room for len(multisets) entries to retain the whole warm-up.
+    if cache_capacity is None:
+        cache_capacity = max(1024, len(multisets)) if join_result is not None \
+            else 1024
+    elif join_result is not None and cache_capacity < len(multisets):
+        raise ServingError(
+            f"cache_capacity {cache_capacity} cannot hold warm entries for "
+            f"{len(multisets)} multisets; pass cache_capacity >= "
+            f"{len(multisets)} or omit it to auto-size")
+    service = ShardedSimilarityService(measure, num_shards,
+                                       cache_capacity=cache_capacity,
+                                       stop_word_frequency=stop_word_frequency)
+    service.bulk_load(multisets)
+
+    if join_result is not None and threshold is not None:
+        _warm_from_pairs(service, multisets, join_result, threshold)
+    return service
+
+
+def _warm_from_pairs(service: ShardedSimilarityService,
+                     multisets: Sequence[Multiset],
+                     join_result: VSmartJoinResult,
+                     threshold: float) -> None:
+    """Seed every shard's cache with the join's per-member answers."""
+    resolved = service.measure
+    indexed_ids = {member.id for member in multisets}
+    partners: dict = {}
+    for pair in join_result.pairs:
+        for multiset_id in (pair.first, pair.second):
+            if multiset_id not in indexed_ids:
+                raise ServingError(
+                    f"join result references multiset {multiset_id!r} which "
+                    "is not in the bootstrap data; cache warm-up needs the "
+                    "join and the data to describe the same collection")
+        partners.setdefault(pair.first, []).append(
+            QueryMatch(pair.second, pair.similarity))
+        partners.setdefault(pair.second, []).append(
+            QueryMatch(pair.first, pair.similarity))
+
+    for member in multisets:
+        matches = list(partners.get(member.id, []))
+        uni = service.node_for(member.id).index.uni(member.id)
+        self_similarity = resolved.combine(uni, uni,
+                                           resolved.conjunctive(member, member))
+        if self_similarity >= threshold:
+            matches.append(QueryMatch(member.id, self_similarity))
+        # A threshold query fans out to every node, so each node needs its
+        # own slice of the answer in its cache.
+        per_shard: dict[int, list[QueryMatch]] = {
+            shard: [] for shard in range(service.num_shards)}
+        for match in matches:
+            per_shard[service.shard_for(match.multiset_id)].append(match)
+        for shard, shard_matches in per_shard.items():
+            service.nodes[shard].warm_threshold(member, threshold,
+                                                sort_matches(shard_matches))

@@ -1,0 +1,89 @@
+"""An LRU result cache for the serving layer.
+
+Query results are pure functions of the indexed state, so a
+:class:`~repro.serving.node.ServingNode` can cache them keyed by the query's
+content signature and parameters — as long as every write invalidates the
+cache (the indexed state the entries were computed against is gone).  The
+replay workloads that motivate the serving subsystem are Zipf-skewed, so a
+small LRU holds the popular queries and absorbs most of the traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.core.exceptions import ServingError
+
+
+class LRUResultCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``capacity=0`` disables caching entirely (every lookup misses), which
+    the benchmarks use to isolate raw index throughput.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ServingError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value (refreshing its recency), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert a value, evicting the least recently used entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry; called on each write to the backing index."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counters for dashboards and the QPS benchmark."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (f"LRUResultCache(entries={len(self._entries)}/{self.capacity}, "
+                f"hit_rate={self.hit_rate:.2f})")

@@ -1,0 +1,318 @@
+"""The incremental partial-result index behind the serving subsystem.
+
+:class:`SimilarityIndex` answers "what is similar to Q?" online, without
+re-running a batch join.  It maintains exactly the two structures the
+V-SMART-Join decomposition (paper section 3.2) shows are sufficient for any
+supported Nominal Similarity Measure:
+
+* the unilateral partials ``Uni(Mi)`` of every indexed multiset, accumulated
+  per element exactly as the batch joining phase accumulates them
+  (effective multiplicity → ``uni_from_multiplicity`` → ``uni_merge``);
+* an element → postings inverted index mapping each alphabet element to the
+  multisets containing it and their *effective* multiplicities — the online
+  equivalent of the Similarity1 posting lists.
+
+A query scans only the posting lists of its own elements, accumulating the
+conjunctive partials ``Conj(Q, Mi)`` per candidate, then combines them with
+the stored ``Uni`` tuples.  Two pruning levers keep tail latencies bounded:
+
+* **stop-word pruning** (opt-in, approximate): posting lists longer than the
+  configured frequency are skipped during candidate generation, mirroring
+  the batch stop-word preprocessing step of section 4 — it trades recall on
+  noise-dominated elements for latency, exactly as the paper describes;
+* **upper-bound pruning** (always exact): candidates whose
+  :meth:`~repro.similarity.base.NominalSimilarityMeasure.similarity_upper_bound`
+  cannot reach the threshold are discarded the first time a posting list
+  mentions them — skipping their remaining conjunctive accumulation — and
+  top-k evaluation terminates early once no remaining candidate's bound can
+  beat the current k-th best score (the classic threshold-algorithm stop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.exceptions import ServingError
+from repro.core.multiset import Element, Multiset, MultisetId
+from repro.similarity.base import (
+    NominalSimilarityMeasure,
+    Partials,
+    validate_threshold,
+)
+from repro.similarity.registry import get_measure
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One query answer: an indexed multiset and its similarity to the query."""
+
+    multiset_id: MultisetId
+    similarity: float
+
+
+def sort_matches(matches: Iterable[QueryMatch]) -> list[QueryMatch]:
+    """Sort matches by descending similarity, identifiers breaking ties.
+
+    Every query path (single index, cached node, sharded fan-out merge and
+    cache warm-up) sorts through this one function so results are
+    deterministic and mutually consistent.
+    """
+    materialised = list(matches)
+    try:
+        return sorted(materialised,
+                      key=lambda match: (-match.similarity, match.multiset_id))
+    except TypeError:
+        # Mixed identifier types are not mutually comparable; fall back to
+        # their representation, as the batch record types do.
+        return sorted(materialised,
+                      key=lambda match: (-match.similarity, repr(match.multiset_id)))
+
+
+class SimilarityIndex:
+    """An incrementally maintained index answering similarity queries.
+
+    Parameters
+    ----------
+    measure:
+        Measure name or instance; must not require disjunctive partials
+        (the same restriction as the batch drivers).
+    stop_word_frequency:
+        Optional ``q``: posting lists of more than ``q`` multisets are
+        skipped at query time.  This is an *approximation* knob — with it
+        unset (the default) every query is exact.
+    """
+
+    def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
+                 stop_word_frequency: int | None = None) -> None:
+        self.measure = get_measure(measure)
+        self.measure.check_supported()
+        if stop_word_frequency is not None and stop_word_frequency < 1:
+            raise ServingError(
+                f"stop_word_frequency must be >= 1 when set, got {stop_word_frequency}")
+        self.stop_word_frequency = stop_word_frequency
+        self._multisets: dict[MultisetId, Multiset] = {}
+        self._uni: dict[MultisetId, Partials] = {}
+        self._postings: dict[Element, dict[MultisetId, float]] = {}
+        self._version = 0
+        self._counters: dict[str, int] = {}
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._multisets)
+
+    def __contains__(self, multiset_id: object) -> bool:
+        return multiset_id in self._multisets
+
+    def ids(self) -> Iterator[MultisetId]:
+        """Iterate over the indexed multiset identifiers."""
+        return iter(self._multisets)
+
+    def get(self, multiset_id: MultisetId) -> Multiset | None:
+        """Return the indexed multiset with this identifier, if any."""
+        return self._multisets.get(multiset_id)
+
+    def uni(self, multiset_id: MultisetId) -> Partials:
+        """Return the maintained ``Uni`` partials of an indexed multiset."""
+        try:
+            return self._uni[multiset_id]
+        except KeyError:
+            raise ServingError(
+                f"multiset {multiset_id!r} is not indexed") from None
+
+    @property
+    def version(self) -> int:
+        """Monotonic write version; bumped by every add/remove."""
+        return self._version
+
+    @property
+    def num_postings(self) -> int:
+        """Total number of (element, multiset) posting entries."""
+        return sum(len(postings) for postings in self._postings.values())
+
+    def counters(self) -> dict[str, int]:
+        """Query-execution counters (scanned postings, pruned candidates...)."""
+        return dict(self._counters)
+
+    def _increment(self, counter: str, amount: int = 1) -> None:
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    # -- writes ----------------------------------------------------------------
+
+    def add(self, multiset: Multiset, replace: bool = False) -> None:
+        """Index a multiset: accumulate its ``Uni`` and extend the postings.
+
+        Adding an identifier that is already indexed raises unless
+        ``replace=True``, in which case the stored entry is swapped
+        atomically (remove + add under one logical write).
+        """
+        if multiset.id in self._multisets:
+            if not replace:
+                raise ServingError(
+                    f"multiset {multiset.id!r} is already indexed; "
+                    "pass replace=True to overwrite")
+            self.remove(multiset.id)
+        measure = self.measure
+        uni = measure.uni_zero()
+        for element, multiplicity in multiset.items():
+            effective = measure.effective_multiplicity(multiplicity)
+            if effective <= 0:
+                continue
+            uni = measure.uni_merge(uni, measure.uni_from_multiplicity(effective))
+            self._postings.setdefault(element, {})[multiset.id] = effective
+        self._multisets[multiset.id] = multiset
+        self._uni[multiset.id] = uni
+        self._version += 1
+
+    def remove(self, multiset_id: MultisetId) -> None:
+        """Drop a multiset: retract its postings and forget its partials."""
+        multiset = self._multisets.pop(multiset_id, None)
+        if multiset is None:
+            raise ServingError(f"multiset {multiset_id!r} is not indexed")
+        del self._uni[multiset_id]
+        for element in multiset:
+            postings = self._postings.get(element)
+            if postings is not None:
+                postings.pop(multiset_id, None)
+                if not postings:
+                    del self._postings[element]
+        self._version += 1
+
+    def bulk_load(self, multisets: Iterable[Multiset],
+                  replace: bool = False) -> int:
+        """Add many multisets; returns how many were indexed."""
+        count = 0
+        for multiset in multisets:
+            self.add(multiset, replace=replace)
+            count += 1
+        return count
+
+    # -- queries ---------------------------------------------------------------
+
+    def query_threshold(self, query: Multiset,
+                        threshold: float) -> list[QueryMatch]:
+        """All indexed multisets with ``sim(query, Mi) >= threshold``.
+
+        Results are sorted by descending similarity.  With
+        ``stop_word_frequency`` unset the answer is exact — identical to
+        what the batch join finds for the query against the indexed state.
+        Candidates whose similarity upper bound cannot reach the threshold
+        are dropped the first time a posting mentions them, skipping all
+        their remaining conjunctive accumulation.
+        """
+        limit = validate_threshold(threshold)
+        measure = self.measure
+        uni_q, conj_by_id = self._gather_candidates(query, prune_below=limit)
+        matches: list[QueryMatch] = []
+        for multiset_id, conj in conj_by_id.items():
+            similarity = measure.combine(uni_q, self._uni[multiset_id], conj)
+            if similarity >= limit:
+                matches.append(QueryMatch(multiset_id, similarity))
+        self._increment("serving/threshold_queries")
+        return sort_matches(matches)
+
+    def query_topk(self, query: Multiset, k: int) -> list[QueryMatch]:
+        """The ``k`` indexed multisets most similar to the query.
+
+        Only multisets sharing at least one (non-pruned) element with the
+        query are considered — for every supported measure, disjoint
+        multisets have similarity zero.  Candidates are scored in
+        descending upper-bound order so evaluation stops as soon as no
+        remaining bound can beat the current k-th best score.
+        """
+        if k < 1:
+            raise ServingError(f"top-k queries need k >= 1, got {k}")
+        measure = self.measure
+        uni_q, conj_by_id = self._gather_candidates(query)
+        ranked = sorted(
+            ((measure.similarity_upper_bound(uni_q, self._uni[multiset_id]),
+              multiset_id) for multiset_id in conj_by_id),
+            key=lambda pair: -pair[0])
+        scored: list[QueryMatch] = []
+        top_similarities: list[float] = []  # min-heap of the k best scores
+        for bound, multiset_id in ranked:
+            if len(top_similarities) >= k and bound < top_similarities[0]:
+                self._increment("serving/topk_early_terminations")
+                break
+            similarity = measure.combine(uni_q, self._uni[multiset_id],
+                                         conj_by_id[multiset_id])
+            scored.append(QueryMatch(multiset_id, similarity))
+            heapq.heappush(top_similarities, similarity)
+            if len(top_similarities) > k:
+                heapq.heappop(top_similarities)
+        self._increment("serving/topk_queries")
+        return sort_matches(scored)[:k]
+
+    def neighbours(self, multiset_id: MultisetId,
+                   threshold: float) -> list[QueryMatch]:
+        """Threshold query for an indexed member, excluding the member itself.
+
+        ``neighbours(Mi, t)`` over a fully loaded index enumerates exactly
+        the partners the batch join pairs ``Mi`` with at threshold ``t``.
+        """
+        multiset = self._multisets.get(multiset_id)
+        if multiset is None:
+            raise ServingError(f"multiset {multiset_id!r} is not indexed")
+        return [match for match in self.query_threshold(multiset, threshold)
+                if match.multiset_id != multiset_id]
+
+    # -- internals -------------------------------------------------------------
+
+    def _gather_candidates(
+            self, query: Multiset,
+            prune_below: float | None = None,
+    ) -> tuple[Partials, dict[MultisetId, Partials]]:
+        """Scan the query elements' postings, accumulating exact ``Conj``.
+
+        Returns ``Uni(Q)`` (the measure's canonical whole-entity fold) and a
+        map from candidate identifier to the accumulated conjunctive
+        partials over the shared elements.  With ``prune_below`` set, a
+        candidate whose similarity upper bound is below it is discarded the
+        first time it appears, and contributes no further accumulation work
+        on the remaining posting lists — this is where upper-bound pruning
+        actually saves scanning, since ``Uni(Q)`` is complete before any
+        posting is read.
+        """
+        measure = self.measure
+        frequency_limit = self.stop_word_frequency
+        uni_q = measure.unilateral(query)
+        conj_by_id: dict[MultisetId, Partials] = {}
+        pruned: set[MultisetId] = set()
+        for element, multiplicity in query.items():
+            effective_q = measure.effective_multiplicity(multiplicity)
+            if effective_q <= 0:
+                continue
+            postings = self._postings.get(element)
+            if not postings:
+                continue
+            if frequency_limit is not None and len(postings) > frequency_limit:
+                self._increment("serving/stop_words_skipped")
+                continue
+            self._increment("serving/postings_scanned", len(postings))
+            for multiset_id, effective_m in postings.items():
+                previous = conj_by_id.get(multiset_id)
+                if previous is None:
+                    if multiset_id in pruned:
+                        continue
+                    if (prune_below is not None
+                            and measure.similarity_upper_bound(
+                                uni_q, self._uni[multiset_id]) < prune_below):
+                        pruned.add(multiset_id)
+                        self._increment("serving/candidates_pruned")
+                        continue
+                    conj_by_id[multiset_id] = measure.conj_from_pair(
+                        effective_q, effective_m)
+                else:
+                    conj_by_id[multiset_id] = measure.conj_merge(
+                        previous,
+                        measure.conj_from_pair(effective_q, effective_m))
+        self._increment("serving/candidates_examined",
+                        len(conj_by_id) + len(pruned))
+        return uni_q, conj_by_id
+
+    def __repr__(self) -> str:
+        return (f"SimilarityIndex(measure={self.measure.name!r}, "
+                f"multisets={len(self._multisets)}, "
+                f"postings={self.num_postings})")

@@ -1,0 +1,162 @@
+"""One serving node: an index plus a result cache and batched execution.
+
+:class:`ServingNode` is the unit of deployment of the serving subsystem —
+the sharded service is simply a hash-routed collection of nodes.  It adds
+two production concerns on top of the raw
+:class:`~repro.serving.index.SimilarityIndex`:
+
+* an LRU result cache keyed by the query's *content signature* (identifier
+  ignored — two queries with the same elements and multiplicities are the
+  same query) together with the index's write version, so cached answers
+  can never go stale — even writes applied directly to ``node.index``
+  orphan the old entries.  Writes through the node additionally clear the
+  cache to reclaim the memory of those unreachable entries;
+* batched query execution that computes each distinct query signature once
+  per batch and fans the result back out, so replayed/duplicated traffic
+  pays one index scan even when the cache is cold or disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.multiset import Multiset, MultisetId, content_signature
+from repro.serving.cache import LRUResultCache
+from repro.serving.index import QueryMatch, SimilarityIndex
+from repro.similarity.base import NominalSimilarityMeasure
+
+
+def query_signature(query: Multiset) -> frozenset:
+    """The cache key of a query: its content signature, identifier ignored.
+
+    Two multisets with equal contents produce equal signatures regardless of
+    their identifiers or construction order, which is exactly the equality
+    the result cache needs.
+    """
+    return content_signature(query)
+
+
+class ServingNode:
+    """A similarity index fronted by an invalidating LRU result cache."""
+
+    def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
+                 *, cache_capacity: int = 1024,
+                 stop_word_frequency: int | None = None,
+                 name: str = "node0") -> None:
+        self.index = SimilarityIndex(measure,
+                                     stop_word_frequency=stop_word_frequency)
+        self.cache = LRUResultCache(cache_capacity)
+        self.name = name
+
+    @property
+    def measure(self) -> NominalSimilarityMeasure:
+        """The measure this node serves."""
+        return self.index.measure
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, multiset_id: object) -> bool:
+        return multiset_id in self.index
+
+    # -- writes (every write invalidates the cache) ----------------------------
+
+    def add(self, multiset: Multiset, replace: bool = False) -> None:
+        """Index a multiset and invalidate cached results."""
+        self.index.add(multiset, replace=replace)
+        self.cache.invalidate()
+
+    def remove(self, multiset_id: MultisetId) -> None:
+        """Drop a multiset and invalidate cached results."""
+        self.index.remove(multiset_id)
+        self.cache.invalidate()
+
+    def bulk_load(self, multisets: Iterable[Multiset],
+                  replace: bool = False) -> int:
+        """Add many multisets under a single cache invalidation.
+
+        The invalidation runs even when a record part-way through the batch
+        is rejected — the index has already been mutated by then, so cached
+        results must not survive the failure.
+        """
+        try:
+            return self.index.bulk_load(multisets, replace=replace)
+        finally:
+            self.cache.invalidate()
+
+    # -- queries ---------------------------------------------------------------
+
+    def _threshold_key(self, query: Multiset, threshold: float) -> tuple:
+        """The cache key of a threshold query; shared with warm_threshold.
+
+        Includes the index's write version so entries from before any write
+        — including writes applied directly to :attr:`index` — can never be
+        returned for the mutated state.
+        """
+        return ("threshold", self.index.version, query_signature(query),
+                float(threshold))
+
+    def _cached(self, key: tuple, compute) -> list[QueryMatch]:
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        matches = compute()
+        self.cache.put(key, tuple(matches))
+        return matches
+
+    def query_threshold(self, query: Multiset,
+                        threshold: float) -> list[QueryMatch]:
+        """Cached threshold query against this node's index."""
+        return self._cached(self._threshold_key(query, threshold),
+                            lambda: self.index.query_threshold(query, threshold))
+
+    def query_topk(self, query: Multiset, k: int) -> list[QueryMatch]:
+        """Cached top-k query against this node's index."""
+        return self._cached(
+            ("topk", self.index.version, query_signature(query), int(k)),
+            lambda: self.index.query_topk(query, k))
+
+    def batch_threshold(self, queries: Sequence[Multiset],
+                        threshold: float) -> list[list[QueryMatch]]:
+        """Execute a batch of threshold queries, one scan per distinct query."""
+        return self._batch(queries,
+                           lambda query: self.query_threshold(query, threshold))
+
+    def batch_topk(self, queries: Sequence[Multiset],
+                   k: int) -> list[list[QueryMatch]]:
+        """Execute a batch of top-k queries, one scan per distinct query."""
+        return self._batch(queries, lambda query: self.query_topk(query, k))
+
+    def _batch(self, queries: Sequence[Multiset],
+               execute) -> list[list[QueryMatch]]:
+        results_by_signature: dict[frozenset, list[QueryMatch]] = {}
+        results: list[list[QueryMatch]] = []
+        for query in queries:
+            signature = query_signature(query)
+            if signature not in results_by_signature:
+                results_by_signature[signature] = execute(query)
+            results.append(list(results_by_signature[signature]))
+        return results
+
+    # -- cache warm-up (used by the join bootstrap) ----------------------------
+
+    def warm_threshold(self, query: Multiset, threshold: float,
+                       matches: Sequence[QueryMatch]) -> None:
+        """Seed the cache with a precomputed threshold-query result."""
+        self.cache.put(self._threshold_key(query, threshold), tuple(matches))
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Index counters merged with cache statistics."""
+        merged: dict[str, float] = dict(self.index.counters())
+        for stat, value in self.cache.stats().items():
+            merged[f"cache/{stat}"] = value
+        merged["indexed_multisets"] = len(self.index)
+        merged["index_version"] = self.index.version
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"ServingNode(name={self.name!r}, "
+                f"measure={self.index.measure.name!r}, "
+                f"multisets={len(self.index)})")

@@ -1,0 +1,163 @@
+"""Hash-sharded multi-node fan-out over serving nodes.
+
+The service partitions the indexed multisets over ``num_shards`` nodes by a
+stable hash of their identifiers — the same content-hash routing idiom as
+the Sharding joining algorithm's element fingerprints
+(:func:`repro.vsmart.sharding.element_fingerprint`), so shard assignment is
+deterministic across processes and restarts.  Writes touch exactly one
+node; queries fan out to every node and merge:
+
+* threshold queries concatenate the per-shard answers (shards are disjoint,
+  so no deduplication is needed) and re-sort;
+* top-k queries take the top k of each shard and keep the global top k of
+  the union — correct because every shard returns its k best, so nothing
+  outside the merged union can enter the global top k.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.exceptions import ServingError
+from repro.core.multiset import Multiset, MultisetId
+from repro.mapreduce.partitioner import stable_hash
+from repro.serving.index import QueryMatch, sort_matches
+from repro.serving.node import ServingNode
+from repro.similarity.base import NominalSimilarityMeasure
+
+#: Salt separating shard routing from the other stable-hash users.
+SHARD_SALT = "serving-shard"
+
+
+def shard_for(multiset_id: MultisetId, num_shards: int) -> int:
+    """The shard owning ``multiset_id`` (stable across processes)."""
+    if num_shards <= 0:
+        raise ServingError(f"num_shards must be >= 1, got {num_shards}")
+    return stable_hash(multiset_id, salt=SHARD_SALT) % num_shards
+
+
+class ShardedSimilarityService:
+    """A fleet of serving nodes behind a single query API."""
+
+    def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
+                 num_shards: int = 4, *, cache_capacity: int = 1024,
+                 stop_word_frequency: int | None = None) -> None:
+        if num_shards < 1:
+            raise ServingError(f"num_shards must be >= 1, got {num_shards}")
+        self.nodes = [
+            ServingNode(measure, cache_capacity=cache_capacity,
+                        stop_word_frequency=stop_word_frequency,
+                        name=f"node{shard}")
+            for shard in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (= serving nodes) in the fleet."""
+        return len(self.nodes)
+
+    @property
+    def measure(self) -> NominalSimilarityMeasure:
+        """The measure the fleet serves."""
+        return self.nodes[0].measure
+
+    def __len__(self) -> int:
+        return sum(len(node) for node in self.nodes)
+
+    def __contains__(self, multiset_id: object) -> bool:
+        return any(multiset_id in node for node in self.nodes)
+
+    def shard_for(self, multiset_id: MultisetId) -> int:
+        """The shard this identifier routes to."""
+        return shard_for(multiset_id, self.num_shards)
+
+    def node_for(self, multiset_id: MultisetId) -> ServingNode:
+        """The node owning this identifier."""
+        return self.nodes[self.shard_for(multiset_id)]
+
+    # -- writes (routed to the owning shard) -----------------------------------
+
+    def add(self, multiset: Multiset, replace: bool = False) -> None:
+        """Index a multiset on its owning shard."""
+        self.node_for(multiset.id).add(multiset, replace=replace)
+
+    def remove(self, multiset_id: MultisetId) -> None:
+        """Drop a multiset from its owning shard."""
+        self.node_for(multiset_id).remove(multiset_id)
+
+    def bulk_load(self, multisets: Iterable[Multiset],
+                  replace: bool = False) -> int:
+        """Partition a collection over the shards; returns the count indexed."""
+        per_shard: dict[int, list[Multiset]] = {}
+        for multiset in multisets:
+            per_shard.setdefault(self.shard_for(multiset.id), []).append(multiset)
+        return sum(self.nodes[shard].bulk_load(batch, replace=replace)
+                   for shard, batch in per_shard.items())
+
+    # -- queries (fan out to every shard, merge) -------------------------------
+
+    def query_threshold(self, query: Multiset,
+                        threshold: float) -> list[QueryMatch]:
+        """Threshold query across all shards, merged and re-sorted."""
+        merged: list[QueryMatch] = []
+        for node in self.nodes:
+            merged.extend(node.query_threshold(query, threshold))
+        return sort_matches(merged)
+
+    def query_topk(self, query: Multiset, k: int) -> list[QueryMatch]:
+        """Top-k query across all shards: per-shard top k, globally merged."""
+        merged: list[QueryMatch] = []
+        for node in self.nodes:
+            merged.extend(node.query_topk(query, k))
+        return sort_matches(merged)[:k]
+
+    def batch_threshold(self, queries: Sequence[Multiset],
+                        threshold: float) -> list[list[QueryMatch]]:
+        """Batched threshold queries: one per-shard batch, merged per query."""
+        per_node = [node.batch_threshold(queries, threshold)
+                    for node in self.nodes]
+        return [sort_matches([match for results in per_node
+                              for match in results[position]])
+                for position in range(len(queries))]
+
+    def batch_topk(self, queries: Sequence[Multiset],
+                   k: int) -> list[list[QueryMatch]]:
+        """Batched top-k queries: one per-shard batch, merged per query."""
+        per_node = [node.batch_topk(queries, k) for node in self.nodes]
+        return [sort_matches([match for results in per_node
+                              for match in results[position]])[:k]
+                for position in range(len(queries))]
+
+    def neighbours(self, multiset_id: MultisetId,
+                   threshold: float) -> list[QueryMatch]:
+        """Threshold partners of an indexed member, excluding itself."""
+        member = self.node_for(multiset_id).index.get(multiset_id)
+        if member is None:
+            raise ServingError(f"multiset {multiset_id!r} is not indexed")
+        return [match for match in self.query_threshold(member, threshold)
+                if match.multiset_id != multiset_id]
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Fleet totals: per-node statistics summed over all nodes.
+
+        Counters and capacities sum meaningfully (``cache/capacity`` is the
+        fleet's total cache room); ``cache/hit_rate`` is recomputed from the
+        summed hits and misses, and per-node-only gauges (``index_version``)
+        are omitted — read them from ``node.stats()`` directly.
+        """
+        merged: dict[str, float] = {}
+        for node in self.nodes:
+            for stat, value in node.stats().items():
+                merged[stat] = merged.get(stat, 0) + value
+        merged.pop("index_version", None)
+        merged["num_shards"] = self.num_shards
+        lookups = merged.get("cache/hits", 0) + merged.get("cache/misses", 0)
+        merged["cache/hit_rate"] = (merged.get("cache/hits", 0) / lookups
+                                    if lookups else 0.0)
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"ShardedSimilarityService(measure={self.measure.name!r}, "
+                f"shards={self.num_shards}, multisets={len(self)})")

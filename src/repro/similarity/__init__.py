@@ -25,6 +25,10 @@ from repro.similarity.measures import (
     VectorCosineSimilarity,
     WeightedJaccardSimilarity,
 )
+from repro.similarity.partials import (
+    merge_uni,
+    uni_contribution,
+)
 from repro.similarity.registry import (
     available_measures,
     get_measure,
@@ -54,8 +58,10 @@ __all__ = [
     "compute_similarity",
     "get_measure",
     "iter_measures",
+    "merge_uni",
     "pair_dictionary",
     "register_measure",
     "supported_measures",
+    "uni_contribution",
     "validate_threshold",
 ]

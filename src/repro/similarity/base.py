@@ -175,6 +175,34 @@ class NominalSimilarityMeasure(ABC):
                             self.unilateral(entity_j),
                             self.conjunctive(entity_i, entity_j))
 
+    # -- upper bounds (used by the online serving index) ----------------------
+
+    def conj_upper_bound(self, uni_i: Partials,
+                         uni_j: Partials) -> Partials | None:
+        """An upper bound on ``Conj(Mi, Mj)`` given the two ``Uni`` tuples.
+
+        The serving index uses this to bound the similarity of a candidate
+        pair *before* (or without) scanning their shared elements: for the
+        sum-of-minima family ``|Mi ∩ Mj| <= min(|Mi|, |Mj|)``, for the dot
+        product the Cauchy–Schwarz bound applies, and so on.  Measures that
+        admit no bound return ``None``, which disables upper-bound pruning
+        (the safe default).  Overrides must guarantee
+        ``combine(uni_i, uni_j, bound) >= combine(uni_i, uni_j, conj)`` for
+        every reachable ``conj``.
+        """
+        return None
+
+    def similarity_upper_bound(self, uni_i: Partials, uni_j: Partials) -> float:
+        """An upper bound on ``Sim(Mi, Mj)`` from the ``Uni`` tuples alone.
+
+        Falls back to ``1.0`` (no pruning — every supported measure is
+        bounded by one) when :meth:`conj_upper_bound` returns ``None``.
+        """
+        bound = self.conj_upper_bound(uni_i, uni_j)
+        if bound is None:
+            return 1.0
+        return self.combine(uni_i, uni_j, bound)
+
     # -- prefix-filtering support (used by VCL / PPJoin baselines) -----------
 
     def size_lower_bound(self, size: float, threshold: float) -> float:

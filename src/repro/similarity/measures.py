@@ -37,7 +37,20 @@ def _ceil(value: float) -> int:
     return int(math.ceil(value - 1e-9))
 
 
-class RuzickaSimilarity(NominalSimilarityMeasure):
+class _MinIntersectionMeasure(NominalSimilarityMeasure):
+    """Shared bound for measures whose conjunctive partial is ``sum min``.
+
+    For these measures ``|Mi ∩ Mj| = sum_k min(f_ik, f_jk)`` never exceeds
+    the smaller cardinality, giving the serving index a similarity upper
+    bound from the ``Uni`` tuples alone.
+    """
+
+    def conj_upper_bound(self, uni_i: Partials,
+                         uni_j: Partials) -> Partials | None:
+        return (min(uni_i[0], uni_j[0]),)
+
+
+class RuzickaSimilarity(_MinIntersectionMeasure):
     """Ruzicka similarity — generalised (weighted) Jaccard for multisets.
 
     ``Sim = |Mi ∩ Mj| / (|Mi| + |Mj| - |Mi ∩ Mj|)`` where the intersection
@@ -91,7 +104,7 @@ class JaccardSimilarity(RuzickaSimilarity):
     uses_underlying_set = True
 
 
-class MultisetDiceSimilarity(NominalSimilarityMeasure):
+class MultisetDiceSimilarity(_MinIntersectionMeasure):
     """Dice similarity generalised to multisets: ``2|Mi ∩ Mj| / (|Mi|+|Mj|)``."""
 
     name = "dice"
@@ -136,7 +149,7 @@ class SetDiceSimilarity(MultisetDiceSimilarity):
     uses_underlying_set = True
 
 
-class MultisetCosineSimilarity(NominalSimilarityMeasure):
+class MultisetCosineSimilarity(_MinIntersectionMeasure):
     """Cosine similarity generalised to multisets via the set expansion.
 
     ``Sim = |Mi ∩ Mj| / sqrt(|Mi| * |Mj|)`` — the intersection is the sum of
@@ -220,9 +233,20 @@ class VectorCosineSimilarity(NominalSimilarityMeasure):
                               "dot product over shared dimensions"),
         ]
 
+    # No conj_upper_bound override: the Cauchy–Schwarz bound sqrt(uni_i uni_j)
+    # always combines to ~1.0, so it prunes nothing — and float rounding can
+    # land it one ulp *below* 1.0, wrongly pruning exact matches at t = 1.0.
+    # The inherited default (no bound, similarity_upper_bound = 1.0) is both
+    # safe and equally tight.
+
 
 class OverlapSimilarity(NominalSimilarityMeasure):
-    """Overlap (Szymkiewicz–Simpson) coefficient: ``|Mi ∩ Mj| / min(|Mi|, |Mj|)``."""
+    """Overlap (Szymkiewicz–Simpson) coefficient: ``|Mi ∩ Mj| / min(|Mi|, |Mj|)``.
+
+    Not a :class:`_MinIntersectionMeasure`: the min-intersection bound
+    combines to ``min / min`` = 1.0 identically, so it would never prune —
+    the inherited no-bound default costs nothing and is equally tight.
+    """
 
     name = "overlap"
     uses_underlying_set = False

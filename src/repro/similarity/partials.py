@@ -1,0 +1,40 @@
+"""Measure-agnostic accumulation of partial results.
+
+Every consumer of the decomposition accumulates the unilateral partial
+results ``Uni(Mi)`` the same way: apply the measure's effective-multiplicity
+mapping to each element, convert it to a contribution tuple and fold the
+contributions with the measure's associative merge.  These helpers express
+that per-contribution form for the record-at-a-time MapReduce pipelines;
+whole-entity consumers (the exact evaluators and the serving index) use the
+equivalent one-pass fold
+:meth:`~repro.similarity.base.NominalSimilarityMeasure.unilateral`.
+
+(The helpers used to live in :mod:`repro.vsmart.common`, which still
+re-exports them; they moved here because they depend only on the measure
+API, not on the MapReduce machinery.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.similarity.base import NominalSimilarityMeasure, Partials
+
+
+def uni_contribution(measure: NominalSimilarityMeasure,
+                     multiplicity: float) -> Partials:
+    """Per-element contribution of a multiplicity to ``Uni(Mi)``.
+
+    Applies the measure's effective-multiplicity mapping first, so set
+    measures contribute one per distinct element regardless of multiplicity.
+    """
+    return measure.uni_from_multiplicity(measure.effective_multiplicity(multiplicity))
+
+
+def merge_uni(measure: NominalSimilarityMeasure,
+              contributions: Sequence[Partials]) -> Partials:
+    """Fold a sequence of ``Uni`` contributions with the measure's merge."""
+    accumulator = measure.uni_zero()
+    for contribution in contributions:
+        accumulator = measure.uni_merge(accumulator, contribution)
+    return accumulator

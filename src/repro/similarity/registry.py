@@ -45,15 +45,22 @@ _REGISTRY: dict[str, NominalSimilarityMeasure] = {
 
 
 def get_measure(name: str | NominalSimilarityMeasure) -> NominalSimilarityMeasure:
-    """Look up a measure by name; measure instances pass through unchanged."""
+    """Look up a measure by name; measure instances pass through unchanged.
+
+    Lookup is case-insensitive (``"Ruzicka"`` and ``"RUZICKA"`` both resolve
+    to the measure registered as ``"ruzicka"``); an exact match is preferred
+    so user-registered measures with case-sensitive names keep working.
+    """
     if isinstance(name, NominalSimilarityMeasure):
         return name
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+    measure = _REGISTRY.get(name)
+    if measure is None and isinstance(name, str):
+        measure = _REGISTRY.get(name.lower())
+    if measure is None:
         known = ", ".join(sorted(_REGISTRY))
         raise UnknownMeasureError(
-            f"unknown similarity measure {name!r}; known measures: {known}") from None
+            f"unknown similarity measure {name!r}; known measures: {known}")
+    return measure
 
 
 def available_measures() -> list[str]:

@@ -14,24 +14,13 @@ from typing import Iterator, Sequence
 from repro.mapreduce.job import Combiner, TaskContext
 from repro.similarity.base import NominalSimilarityMeasure, Partials
 
-
-def uni_contribution(measure: NominalSimilarityMeasure,
-                     multiplicity: float) -> Partials:
-    """Per-element contribution of a multiplicity to ``Uni(Mi)``.
-
-    Applies the measure's effective-multiplicity mapping first, so set
-    measures contribute one per distinct element regardless of multiplicity.
-    """
-    return measure.uni_from_multiplicity(measure.effective_multiplicity(multiplicity))
-
-
-def merge_uni(measure: NominalSimilarityMeasure,
-              contributions: Sequence[Partials]) -> Partials:
-    """Fold a sequence of ``Uni`` contributions with the measure's merge."""
-    accumulator = measure.uni_zero()
-    for contribution in contributions:
-        accumulator = measure.uni_merge(accumulator, contribution)
-    return accumulator
+# The pure accumulation helpers are measure-only code shared with the online
+# serving index; they live in repro.similarity.partials and are re-exported
+# here for the joining algorithms (and backwards compatibility).
+from repro.similarity.partials import (  # noqa: F401
+    merge_uni,
+    uni_contribution,
+)
 
 
 class UniSumCombiner(Combiner):

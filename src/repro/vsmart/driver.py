@@ -17,7 +17,12 @@ from typing import Iterable, Sequence
 
 from repro.core.exceptions import JobConfigurationError
 from repro.core.multiset import Multiset
-from repro.core.records import InputTuple, SimilarPair, explode_multisets
+from repro.core.records import (
+    InputTuple,
+    SimilarPair,
+    explode_multisets,
+    resolve_record_type,
+)
 from repro.mapreduce.cluster import Cluster, laptop_cluster
 from repro.mapreduce.costmodel import DEFAULT_COST_PARAMETERS, CostParameters
 from repro.mapreduce.dfs import Dataset
@@ -239,13 +244,11 @@ def normalise_input(data: Iterable[Multiset] | Dataset | Sequence[InputTuple]) -
     materialised = list(data)
     if not materialised:
         return Dataset("raw_input", [])
-    if isinstance(materialised[0], InputTuple):
+    record_type = resolve_record_type(materialised, (InputTuple, Multiset),
+                                      JobConfigurationError)
+    if record_type is InputTuple:
         return Dataset("raw_input", materialised)
-    if isinstance(materialised[0], Multiset):
-        return Dataset("raw_input", explode_multisets(materialised))
-    raise JobConfigurationError(
-        "input data must be Multiset objects, InputTuple records or a Dataset; "
-        f"got {type(materialised[0]).__name__}")
+    return Dataset("raw_input", explode_multisets(materialised))
 
 
 def vsmart_join(multisets: Iterable[Multiset],
@@ -253,13 +256,19 @@ def vsmart_join(multisets: Iterable[Multiset],
                 threshold: float = 0.5,
                 algorithm: str = ONLINE_AGGREGATION,
                 cluster: Cluster | None = None,
+                cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+                enforce_budgets: bool = True,
                 **config_overrides) -> list[SimilarPair]:
     """One-call API: return all pairs of multisets with similarity >= threshold.
 
     This is the function the quickstart example uses.  For access to the
-    simulated run times and per-job statistics, use :class:`VSmartJoin`.
+    simulated run times and per-job statistics, use :class:`VSmartJoin`;
+    ``cost_parameters`` and ``enforce_budgets`` are forwarded to it so the
+    cost-model calibration and budget enforcement are reachable from the
+    one-call API too.
     """
     config = VSmartJoinConfig(algorithm=algorithm, measure=measure,
                               threshold=threshold, **config_overrides)
-    join = VSmartJoin(config, cluster=cluster)
+    join = VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters,
+                      enforce_budgets=enforce_budgets)
     return join.run(multisets).pairs

@@ -267,3 +267,54 @@ class TestLifecycleHooks:
         context.increment("x", 5)
         context.increment("x")
         assert counters["x"] == 6
+
+
+class TestPipelineResult:
+    """Satellite coverage: stats_for lookup and counters merging."""
+
+    @staticmethod
+    def _stats(name, counters, seconds=1.0):
+        from repro.mapreduce.types import JobStats
+
+        stats = JobStats(job_name=name, simulated_seconds=seconds)
+        stats.merge_counters(counters)
+        return stats
+
+    def _pipeline(self):
+        from repro.mapreduce.runner import PipelineResult
+
+        return PipelineResult(
+            name="demo",
+            output=Dataset.from_records([]),
+            job_stats=[
+                self._stats("first", {"shared": 2, "first_only": 1}, 10.0),
+                self._stats("second", {"shared": 3, "second_only": 7}, 5.0),
+            ])
+
+    def test_stats_for_returns_named_job(self):
+        pipeline = self._pipeline()
+        assert pipeline.stats_for("first").simulated_seconds == 10.0
+        assert pipeline.stats_for("second").counters["second_only"] == 7
+
+    def test_stats_for_unknown_job_raises(self):
+        with pytest.raises(KeyError, match="no job named 'third'"):
+            self._pipeline().stats_for("third")
+
+    def test_counters_sum_across_jobs(self):
+        merged = self._pipeline().counters()
+        assert merged == {"shared": 5, "first_only": 1, "second_only": 7}
+
+    def test_counters_empty_pipeline(self):
+        from repro.mapreduce.runner import PipelineResult
+
+        pipeline = PipelineResult(name="empty", output=Dataset.from_records([]))
+        assert pipeline.counters() == {}
+        assert pipeline.simulated_seconds == 0.0
+
+    def test_simulated_seconds_sums_jobs(self):
+        assert self._pipeline().simulated_seconds == 15.0
+
+    def test_merge_counters_accumulates(self):
+        stats = self._stats("job", {"x": 1})
+        stats.merge_counters({"x": 2, "y": 3})
+        assert stats.counters == {"x": 3, "y": 3}

@@ -233,3 +233,38 @@ class TestMeasureProperties:
                 accumulator, measure.uni_from_multiplicity(float(multiplicity)))
         expected = sum(m * m for m in multiplicities)
         assert accumulator == (pytest.approx(expected),)
+
+
+class TestRegistryCaseInsensitivity:
+    def test_lookup_ignores_case(self):
+        assert get_measure("Ruzicka") is get_measure("ruzicka")
+        assert get_measure("RUZICKA") is get_measure("ruzicka")
+        assert get_measure("Vector_Cosine") is get_measure("vector_cosine")
+
+    def test_error_lists_known_measures(self):
+        with pytest.raises(UnknownMeasureError) as excinfo:
+            get_measure("no-such-measure")
+        message = str(excinfo.value)
+        assert "known measures" in message
+        for name in ("ruzicka", "jaccard", "vector_cosine"):
+            assert name in message
+
+
+class TestSimilarityUpperBounds:
+    def test_ruzicka_bound_formula(self):
+        measure = get_measure("ruzicka")
+        # Uni = (|Mi|,); conj bound = min => bound = min / (a + b - min).
+        assert measure.similarity_upper_bound((4.0,), (6.0,)) == pytest.approx(4 / 6)
+
+    def test_vector_cosine_bound_is_one(self):
+        measure = get_measure("vector_cosine")
+        assert measure.similarity_upper_bound((9.0,), (16.0,)) == pytest.approx(1.0)
+
+    def test_default_bound_is_one(self):
+        class Unbounded(RuzickaSimilarity):
+            name = "unbounded-test"
+
+            def conj_upper_bound(self, uni_i, uni_j):
+                return None
+
+        assert Unbounded().similarity_upper_bound((4.0,), (6.0,)) == 1.0

@@ -1,0 +1,634 @@
+"""Tests for the online similarity-serving subsystem (repro.serving)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import DatasetError, ServingError
+from repro.core.multiset import Multiset
+from repro.core.records import InputTuple, canonical_pair, explode_multisets
+from repro.datasets.workload import (
+    QueryWorkloadConfig,
+    generate_query_workload,
+    workload_statistics,
+)
+from repro.mapreduce.cluster import laptop_cluster
+from repro.mapreduce.dfs import Dataset
+from repro.serving.bootstrap import bootstrap_from_join, multisets_from_input
+from repro.serving.cache import LRUResultCache
+from repro.serving.index import QueryMatch, SimilarityIndex, sort_matches
+from repro.serving.node import ServingNode, query_signature
+from repro.serving.service import ShardedSimilarityService, shard_for
+from repro.similarity.registry import get_measure, supported_measures
+from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig, vsmart_join
+from tests.conftest import make_random_multisets
+
+
+def index_pair_dictionary(index: SimilarityIndex, threshold: float) -> dict:
+    """All similar pairs the index finds by querying every member."""
+    pairs: dict = {}
+    for multiset_id in list(index.ids()):
+        for match in index.neighbours(multiset_id, threshold):
+            pairs[canonical_pair(multiset_id, match.multiset_id)] = match.similarity
+    return pairs
+
+
+class TestSimilarityIndexBasics:
+    def test_add_remove_and_containment(self, overlapping_multisets):
+        index = SimilarityIndex("ruzicka")
+        assert index.bulk_load(overlapping_multisets) == 5
+        assert len(index) == 5
+        assert "a" in index and "nope" not in index
+        assert index.get("a") == overlapping_multisets[0]
+        index.remove("a")
+        assert "a" not in index and len(index) == 4
+
+    def test_duplicate_add_rejected_unless_replace(self):
+        index = SimilarityIndex("ruzicka")
+        index.add(Multiset("m", {"x": 1}))
+        with pytest.raises(ServingError):
+            index.add(Multiset("m", {"y": 2}))
+        index.add(Multiset("m", {"y": 2}), replace=True)
+        assert index.get("m").multiplicity("y") == 2
+        assert index.get("m").multiplicity("x") == 0
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ServingError):
+            SimilarityIndex("ruzicka").remove("ghost")
+
+    def test_uni_of_unknown_rejected(self):
+        with pytest.raises(ServingError):
+            SimilarityIndex("ruzicka").uni("ghost")
+
+    def test_version_bumps_on_writes(self):
+        index = SimilarityIndex("ruzicka")
+        assert index.version == 0
+        index.add(Multiset("m", {"x": 1}))
+        assert index.version == 1
+        index.remove("m")
+        assert index.version == 2
+
+    def test_postings_are_retracted_on_remove(self, overlapping_multisets):
+        index = SimilarityIndex("ruzicka")
+        index.bulk_load(overlapping_multisets)
+        before = index.num_postings
+        index.remove("a")
+        assert index.num_postings < before
+        for multiset in overlapping_multisets[1:]:
+            index.remove(multiset.id)
+        assert index.num_postings == 0
+
+    def test_disjunctive_measure_rejected(self):
+        with pytest.raises(Exception):
+            SimilarityIndex("direct_ruzicka")
+
+    def test_invalid_stop_word_frequency_rejected(self):
+        with pytest.raises(ServingError):
+            SimilarityIndex("ruzicka", stop_word_frequency=0)
+
+    def test_uni_matches_measure_unilateral(self, small_multisets):
+        for name in ("ruzicka", "jaccard", "vector_cosine"):
+            measure = get_measure(name)
+            index = SimilarityIndex(name)
+            index.bulk_load(small_multisets)
+            for multiset in small_multisets:
+                assert index.uni(multiset.id) == pytest.approx(
+                    measure.unilateral(multiset))
+
+
+class TestThresholdMatchesBatchJoin:
+    """Acceptance: index threshold queries == vsmart_join on the same data."""
+
+    @pytest.mark.parametrize("name", supported_measures())
+    @pytest.mark.parametrize("threshold", [0.3, 0.7])
+    def test_every_measure_agrees_with_vsmart_join(self, name, threshold):
+        multisets = make_random_multisets(12, alphabet_size=15, max_elements=8,
+                                          seed=42)
+        expected = {pair.pair: pair.similarity
+                    for pair in vsmart_join(multisets, measure=name,
+                                            threshold=threshold,
+                                            cluster=laptop_cluster(num_machines=3))}
+        index = SimilarityIndex(name)
+        index.bulk_load(multisets)
+        found = index_pair_dictionary(index, threshold)
+        assert set(found) == set(expected)
+        for pair, similarity in found.items():
+            assert similarity == pytest.approx(expected[pair])
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.sampled_from([0.2, 0.5, 0.8]),
+           st.sampled_from(supported_measures()))
+    def test_generated_datasets_agree_with_vsmart_join(self, seed, threshold,
+                                                       name):
+        multisets = make_random_multisets(10, alphabet_size=12, max_elements=6,
+                                          seed=seed)
+        expected = {pair.pair: pair.similarity
+                    for pair in vsmart_join(multisets, measure=name,
+                                            threshold=threshold,
+                                            cluster=laptop_cluster(num_machines=3))}
+        index = SimilarityIndex(name)
+        index.bulk_load(multisets)
+        found = index_pair_dictionary(index, threshold)
+        assert set(found) == set(expected)
+        for pair, similarity in found.items():
+            assert similarity == pytest.approx(expected[pair])
+
+
+class TestTopK:
+    def test_topk_consistent_with_exact_scores(self, small_multisets):
+        for name in ("ruzicka", "jaccard", "vector_cosine"):
+            measure = get_measure(name)
+            index = SimilarityIndex(name)
+            index.bulk_load(small_multisets)
+            query = small_multisets[0]
+            for k in (1, 3, 10):
+                matches = index.query_topk(query, k)
+                assert len(matches) <= k
+                exact = sorted((measure.similarity(query, member)
+                                for member in small_multisets), reverse=True)
+                returned = [match.similarity for match in matches]
+                assert returned == sorted(returned, reverse=True)
+                for position, similarity in enumerate(returned):
+                    assert similarity == pytest.approx(exact[position])
+
+    def test_topk_scores_are_exact(self, small_multisets):
+        measure = get_measure("ruzicka")
+        index = SimilarityIndex("ruzicka")
+        index.bulk_load(small_multisets)
+        query = small_multisets[3]
+        for match in index.query_topk(query, 5):
+            member = index.get(match.multiset_id)
+            assert match.similarity == pytest.approx(
+                measure.similarity(query, member))
+
+    def test_topk_larger_than_candidates(self):
+        index = SimilarityIndex("ruzicka")
+        index.add(Multiset("m", {"x": 1}))
+        matches = index.query_topk(Multiset("q", {"x": 1, "y": 2}), 10)
+        assert [match.multiset_id for match in matches] == ["m"]
+
+    def test_topk_invalid_k_rejected(self):
+        with pytest.raises(ServingError):
+            SimilarityIndex("ruzicka").query_topk(Multiset("q", {"x": 1}), 0)
+
+    def test_topk_early_termination_fires(self, small_multisets):
+        index = SimilarityIndex("ruzicka")
+        index.bulk_load(small_multisets)
+        for query in small_multisets:
+            index.query_topk(query, 1)
+        assert index.counters().get("serving/topk_early_terminations", 0) > 0
+
+
+class TestUpperBoundPruning:
+    @pytest.mark.parametrize("name", supported_measures())
+    def test_upper_bound_dominates_similarity(self, name, small_multisets):
+        measure = get_measure(name)
+        for first in small_multisets[:10]:
+            for second in small_multisets[10:20]:
+                bound = measure.similarity_upper_bound(
+                    measure.unilateral(first), measure.unilateral(second))
+                assert bound >= measure.similarity(first, second) - 1e-9
+
+    def test_vector_cosine_exact_at_threshold_one(self):
+        # Parallel vectors have similarity exactly 1.0; a sqrt-based upper
+        # bound can round one ulp below 1.0 and wrongly prune them.
+        index = SimilarityIndex("vector_cosine")
+        index.add(Multiset("y", {"e": 3 * 94906267}))
+        query = Multiset("x", {"e": 94906267})
+        matches = index.query_threshold(query, 1.0)
+        assert [match.multiset_id for match in matches] == ["y"]
+        assert matches[0].similarity == pytest.approx(1.0)
+
+    def test_threshold_queries_count_pruned_candidates(self, small_multisets):
+        index = SimilarityIndex("ruzicka")
+        index.bulk_load(small_multisets)
+        for query in small_multisets:
+            index.query_threshold(query, 0.9)
+        counters = index.counters()
+        assert counters.get("serving/candidates_pruned", 0) > 0
+        assert counters["serving/threshold_queries"] == len(small_multisets)
+
+
+class TestStopWordPruning:
+    def test_hot_postings_are_skipped(self):
+        members = [Multiset(f"m{i}", {"hot": 1, f"rare{i}": 2})
+                   for i in range(10)]
+        exact = SimilarityIndex("ruzicka")
+        exact.bulk_load(members)
+        pruned = SimilarityIndex("ruzicka", stop_word_frequency=5)
+        pruned.bulk_load(members)
+        query = Multiset("q", {"hot": 1, "rare0": 2})
+        exact_ids = {match.multiset_id
+                     for match in exact.query_threshold(query, 0.2)}
+        pruned_ids = {match.multiset_id
+                      for match in pruned.query_threshold(query, 0.2)}
+        # The hot element is the only link to m1..m9, so pruning drops them.
+        assert pruned_ids == {"m0"}
+        assert pruned_ids < exact_ids
+        assert pruned.counters()["serving/stop_words_skipped"] == 1
+
+    def test_generous_limit_stays_exact(self, small_multisets):
+        exact = SimilarityIndex("ruzicka")
+        exact.bulk_load(small_multisets)
+        generous = SimilarityIndex("ruzicka",
+                                   stop_word_frequency=len(small_multisets))
+        generous.bulk_load(small_multisets)
+        for query in small_multisets[:5]:
+            assert (generous.query_threshold(query, 0.3)
+                    == exact.query_threshold(query, 0.3))
+
+
+class TestIncrementalMaintenance:
+    """Acceptance: add/remove then re-query == fresh index on the final state."""
+
+    @pytest.mark.parametrize("name", ["ruzicka", "jaccard", "vector_cosine"])
+    def test_mutated_index_matches_fresh_build(self, name, small_multisets):
+        churned = SimilarityIndex(name)
+        churned.bulk_load(small_multisets)
+        # Churn: drop a third of the members, re-add half of those dropped
+        # with different contents, then drop a few of the re-added ones.
+        dropped = small_multisets[::3]
+        for member in dropped:
+            churned.remove(member.id)
+        readded = [member.scaled(2) for member in dropped[::2]]
+        for member in readded:
+            churned.add(member)
+        for member in readded[::2]:
+            churned.remove(member.id)
+
+        final_state = {member.id: member for member in small_multisets
+                       if member not in dropped}
+        for member in readded:
+            final_state[member.id] = member
+        for member in readded[::2]:
+            del final_state[member.id]
+        fresh = SimilarityIndex(name)
+        fresh.bulk_load(final_state.values())
+
+        assert set(churned.ids()) == set(fresh.ids())
+        query = small_multisets[1]
+        assert (churned.query_threshold(query, 0.3)
+                == fresh.query_threshold(query, 0.3))
+        assert churned.query_topk(query, 5) == fresh.query_topk(query, 5)
+        assert (index_pair_dictionary(churned, 0.4)
+                == index_pair_dictionary(fresh, 0.4))
+
+
+class TestLRUResultCache:
+    def test_hit_miss_and_eviction(self):
+        cache = LRUResultCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes recency
+        cache.put("c", 3)           # evicts b (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+        assert cache.hits == 3 and cache.misses == 2
+
+    def test_invalidate_clears_entries(self):
+        cache = LRUResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.invalidate()
+        assert cache.get("a") is None
+        assert cache.invalidations == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ServingError):
+            LRUResultCache(capacity=-1)
+
+    def test_hit_rate(self):
+        cache = LRUResultCache(capacity=2)
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestServingNode:
+    def test_cached_result_equals_fresh_result(self, small_multisets):
+        node = ServingNode("ruzicka", cache_capacity=16)
+        node.bulk_load(small_multisets)
+        query = small_multisets[0]
+        first = node.query_threshold(query, 0.4)
+        second = node.query_threshold(query, 0.4)
+        assert first == second
+        assert node.cache.hits == 1
+        # Only one index scan happened for the two calls.
+        assert node.index.counters()["serving/threshold_queries"] == 1
+
+    def test_writes_invalidate_the_cache(self, small_multisets):
+        node = ServingNode("ruzicka", cache_capacity=16)
+        node.bulk_load(small_multisets)
+        query = small_multisets[0].with_id("query")
+        before = node.query_threshold(query, 0.4)
+        node.add(small_multisets[0].with_id("twin"))
+        after = node.query_threshold(query, 0.4)
+        assert {match.multiset_id for match in after} \
+            == {match.multiset_id for match in before} | {"twin"}
+
+    def test_direct_index_writes_cannot_serve_stale_results(
+            self, overlapping_multisets):
+        node = ServingNode("ruzicka", cache_capacity=16)
+        node.bulk_load(overlapping_multisets)
+        query = overlapping_multisets[0].with_id("probe")
+        before = {match.multiset_id
+                  for match in node.query_threshold(query, 0.4)}
+        # Bypass the node: write straight to the underlying index.
+        node.index.remove("b")
+        after = {match.multiset_id for match in node.query_threshold(query, 0.4)}
+        assert "b" in before and "b" not in after
+
+    def test_failed_bulk_load_still_invalidates(self, overlapping_multisets):
+        node = ServingNode("ruzicka", cache_capacity=16)
+        node.bulk_load(overlapping_multisets[:1])
+        query = overlapping_multisets[0].with_id("query")
+        node.query_threshold(query, 0.4)
+        # The batch mutates the index ('b' lands) before the duplicate 'a'
+        # is rejected — the stale cached answer must not survive.
+        with pytest.raises(ServingError):
+            node.bulk_load([overlapping_multisets[1], overlapping_multisets[0]])
+        assert {match.multiset_id
+                for match in node.query_threshold(query, 0.4)} == {"a", "b"}
+
+    def test_query_signature_ignores_identifier_and_order(self):
+        first = Multiset("a", [("x", 1), ("y", 2)])
+        second = Multiset("b", [("y", 2), ("x", 1)])
+        assert query_signature(first) == query_signature(second)
+
+    def test_batch_deduplicates_identical_queries(self, small_multisets):
+        node = ServingNode("ruzicka", cache_capacity=0)  # cache disabled
+        node.bulk_load(small_multisets)
+        query = small_multisets[0]
+        results = node.batch_threshold([query, query.with_id("copy"), query], 0.4)
+        assert len(results) == 3
+        assert results[0] == results[1] == results[2]
+        assert node.index.counters()["serving/threshold_queries"] == 1
+
+    def test_batch_topk(self, small_multisets):
+        node = ServingNode("ruzicka")
+        node.bulk_load(small_multisets)
+        queries = small_multisets[:4]
+        results = node.batch_topk(queries, 3)
+        assert results == [node.query_topk(query, 3) for query in queries]
+
+    def test_stats_merge_index_and_cache(self, small_multisets):
+        node = ServingNode("ruzicka")
+        node.bulk_load(small_multisets)
+        node.query_threshold(small_multisets[0], 0.5)
+        stats = node.stats()
+        assert stats["indexed_multisets"] == len(small_multisets)
+        assert stats["serving/threshold_queries"] == 1
+        assert "cache/hit_rate" in stats
+
+
+class TestShardedService:
+    def test_routing_is_stable_and_partitioning(self, small_multisets):
+        service = ShardedSimilarityService("ruzicka", num_shards=4)
+        service.bulk_load(small_multisets)
+        assert len(service) == len(small_multisets)
+        for multiset in small_multisets:
+            shard = shard_for(multiset.id, 4)
+            assert service.shard_for(multiset.id) == shard
+            assert multiset.id in service.nodes[shard].index
+        # Every shard owns a disjoint slice.
+        assert sum(len(node) for node in service.nodes) == len(small_multisets)
+
+    @pytest.mark.parametrize("num_shards", [1, 3, 4])
+    def test_fan_out_matches_single_node(self, num_shards, small_multisets):
+        single = ServingNode("ruzicka")
+        single.bulk_load(small_multisets)
+        service = ShardedSimilarityService("ruzicka", num_shards=num_shards)
+        service.bulk_load(small_multisets)
+        for query in small_multisets[:8]:
+            expected = single.query_threshold(query, 0.4)
+            assert service.query_threshold(query, 0.4) == expected
+            expected_topk = [match.similarity
+                             for match in single.query_topk(query, 5)]
+            found_topk = [match.similarity
+                          for match in service.query_topk(query, 5)]
+            assert found_topk == pytest.approx(expected_topk)
+
+    def test_batch_queries_match_loop(self, small_multisets):
+        service = ShardedSimilarityService("ruzicka", num_shards=3)
+        service.bulk_load(small_multisets)
+        queries = small_multisets[:5]
+        assert service.batch_threshold(queries, 0.4) \
+            == [service.query_threshold(query, 0.4) for query in queries]
+        assert service.batch_topk(queries, 4) \
+            == [service.query_topk(query, 4) for query in queries]
+
+    def test_writes_route_to_owning_shard(self, small_multisets):
+        service = ShardedSimilarityService("ruzicka", num_shards=4)
+        service.bulk_load(small_multisets)
+        victim = small_multisets[0].id
+        service.remove(victim)
+        assert victim not in service
+        assert len(service) == len(small_multisets) - 1
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ServingError):
+            ShardedSimilarityService("ruzicka", num_shards=0)
+        with pytest.raises(ServingError):
+            shard_for("m", 0)
+
+    def test_neighbours_excludes_self(self, overlapping_multisets):
+        service = ShardedSimilarityService("ruzicka", num_shards=2)
+        service.bulk_load(overlapping_multisets)
+        matches = service.neighbours("a", 0.8)
+        assert [match.multiset_id for match in matches] == ["b"]
+        with pytest.raises(ServingError):
+            service.neighbours("ghost", 0.8)
+
+
+class TestBootstrap:
+    def test_input_shapes(self, overlapping_multisets):
+        tuples = explode_multisets(overlapping_multisets)
+        as_dataset = Dataset("raw_input", tuples)
+        for data in (overlapping_multisets, tuples, as_dataset,
+                     {multiset.id: multiset
+                      for multiset in overlapping_multisets}):
+            assert {multiset.id for multiset in multisets_from_input(data)} \
+                == {"a", "b", "c", "d", "e"}
+        assert multisets_from_input([]) == []
+        with pytest.raises(ServingError):
+            multisets_from_input(["garbage"])
+
+    def test_mixed_input_shapes_rejected(self, overlapping_multisets):
+        mixed = [overlapping_multisets[0], InputTuple("z", "x", 1)]
+        with pytest.raises(ServingError, match="mixed"):
+            multisets_from_input(mixed)
+        with pytest.raises(ServingError, match="mixed"):
+            multisets_from_input(list(reversed(mixed)))
+
+    def test_mapping_values_validated(self, overlapping_multisets):
+        with pytest.raises(ServingError):
+            multisets_from_input({"a": "not-a-multiset"})
+        with pytest.raises(ServingError, match="mixed"):
+            multisets_from_input({"a": overlapping_multisets[0],
+                                  "z": InputTuple("z", "x", 1)})
+
+    def test_bootstrap_without_join_result(self, small_multisets):
+        service = bootstrap_from_join(small_multisets, num_shards=2)
+        assert len(service) == len(small_multisets)
+        assert service.measure.name == "ruzicka"
+
+    def test_threshold_without_join_result_rejected(self, small_multisets):
+        # The argument would have no effect; raising beats silent acceptance.
+        with pytest.raises(ServingError, match="join_result"):
+            bootstrap_from_join(small_multisets, threshold=0.9)
+
+    def test_bootstrap_warms_member_queries(self, small_multisets, test_cluster):
+        threshold = 0.4
+        join = VSmartJoin(VSmartJoinConfig(threshold=threshold),
+                          cluster=test_cluster).run(small_multisets)
+        service = bootstrap_from_join(small_multisets, join, num_shards=2)
+
+        fresh = ShardedSimilarityService("ruzicka", num_shards=2)
+        fresh.bulk_load(small_multisets)
+        hits_before = service.stats()["cache/hits"]
+        for member in small_multisets:
+            warmed = service.query_threshold(member, threshold)
+            expected = fresh.query_threshold(member, threshold)
+            assert [match.multiset_id for match in warmed] \
+                == [match.multiset_id for match in expected]
+            assert [match.similarity for match in warmed] \
+                == pytest.approx([match.similarity for match in expected])
+        # Every member query was answered from the warmed caches.
+        hits = service.stats()["cache/hits"] - hits_before
+        assert hits == len(small_multisets) * service.num_shards
+
+    def test_bootstrap_from_pipeline_dataset(self, overlapping_multisets,
+                                             test_cluster):
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.8),
+                          cluster=test_cluster).run(overlapping_multisets)
+        dataset = Dataset("raw_input", explode_multisets(overlapping_multisets))
+        service = bootstrap_from_join(dataset, join)
+        assert {match.multiset_id
+                for match in service.neighbours("a", 0.8)} == {"b"}
+
+    def test_mismatched_measure_or_threshold_rejected(self, overlapping_multisets,
+                                                      test_cluster):
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.8),
+                          cluster=test_cluster).run(overlapping_multisets)
+        with pytest.raises(ServingError):
+            bootstrap_from_join(overlapping_multisets, join, measure="jaccard")
+        with pytest.raises(ServingError):
+            bootstrap_from_join(overlapping_multisets, join, threshold=0.5)
+
+    def test_warm_cache_capacity_guard(self, small_multisets, test_cluster):
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.4),
+                          cluster=test_cluster).run(small_multisets)
+        # Too small to retain the warm-up: rejected, not silently evicted.
+        with pytest.raises(ServingError, match="cache_capacity"):
+            bootstrap_from_join(small_multisets, join, cache_capacity=4)
+        # Auto-sizing keeps every warmed entry resident.
+        service = bootstrap_from_join(small_multisets, join)
+        assert all(node.cache.capacity >= len(small_multisets)
+                   for node in service.nodes)
+        # A small explicit capacity is fine when nothing is warmed.
+        cold = bootstrap_from_join(small_multisets, cache_capacity=4)
+        assert all(node.cache.capacity == 4 for node in cold.nodes)
+
+    def test_stale_join_result_rejected(self, overlapping_multisets,
+                                        test_cluster):
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.8),
+                          cluster=test_cluster).run(overlapping_multisets)
+        # Drop a joined member from the bootstrap data: the warm-up would
+        # cache matches pointing at an unindexed multiset.
+        without_b = [multiset for multiset in overlapping_multisets
+                     if multiset.id != "b"]
+        with pytest.raises(ServingError, match="not in the bootstrap data"):
+            bootstrap_from_join(without_b, join)
+
+    def test_stop_word_join_cannot_warm(self, small_multisets, test_cluster):
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.4, stop_word_frequency=5),
+                          cluster=test_cluster).run(small_multisets)
+        with pytest.raises(ServingError):
+            bootstrap_from_join(small_multisets, join)
+
+    def test_pruning_index_cannot_be_warmed(self, small_multisets, test_cluster):
+        # Warmed exact answers would silently flip to pruned ones on the
+        # first cache invalidation, so the combination is rejected.
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.4),
+                          cluster=test_cluster).run(small_multisets)
+        with pytest.raises(ServingError, match="stop-word pruning"):
+            bootstrap_from_join(small_multisets, join, stop_word_frequency=3)
+        # Without warm-up data the pruning knob remains available.
+        service = bootstrap_from_join(small_multisets, stop_word_frequency=3)
+        assert len(service) == len(small_multisets)
+
+
+class TestQueryWorkload:
+    def test_deterministic_and_well_formed(self, small_multisets):
+        config = QueryWorkloadConfig(num_queries=50, zipf_exponent=1.4, seed=3)
+        first = generate_query_workload(small_multisets, config)
+        second = generate_query_workload(small_multisets, config)
+        assert first == second
+        assert len(first) == 50
+        assert len({query.id for query in first}) == 50  # fresh identifiers
+        member_signatures = {query_signature(member)
+                             for member in small_multisets}
+        assert all(query_signature(query) in member_signatures
+                   for query in first)
+
+    def test_zipf_skew_produces_repeats(self, small_multisets):
+        queries = generate_query_workload(
+            small_multisets, QueryWorkloadConfig(num_queries=200,
+                                                 zipf_exponent=1.5, seed=1))
+        stats = workload_statistics(queries)
+        assert stats["num_queries"] == 200
+        assert stats["repeat_rate"] > 0.3
+        assert stats["distinct_queries"] < 200
+
+    def test_perturbation_changes_contents(self, small_multisets):
+        config = QueryWorkloadConfig(num_queries=100, zipf_exponent=1.2,
+                                     perturbation_probability=1.0, seed=5)
+        queries = generate_query_workload(small_multisets, config)
+        member_signatures = {query_signature(member)
+                             for member in small_multisets}
+        assert any(query_signature(query) not in member_signatures
+                   for query in queries)
+
+    def test_perturbation_survives_tiny_multisets(self):
+        config = QueryWorkloadConfig(num_queries=20,
+                                     perturbation_probability=1.0, seed=2)
+        singletons = [Multiset("s", {"only": 1}), Multiset("e", {})]
+        queries = generate_query_workload(singletons, config)
+        assert len(queries) == 20
+        for query in queries:
+            assert query.cardinality >= 0  # no crash, contents stay valid
+
+    def test_invalid_parameters_rejected(self, small_multisets):
+        with pytest.raises(DatasetError):
+            generate_query_workload([], QueryWorkloadConfig(num_queries=5))
+        with pytest.raises(DatasetError):
+            QueryWorkloadConfig(num_queries=-1)
+        with pytest.raises(DatasetError):
+            QueryWorkloadConfig(zipf_exponent=0.0)
+        with pytest.raises(DatasetError):
+            QueryWorkloadConfig(perturbation_probability=1.5)
+
+
+class TestSortMatches:
+    def test_orders_by_similarity_then_id(self):
+        matches = [QueryMatch("b", 0.5), QueryMatch("a", 0.5),
+                   QueryMatch("c", 0.9)]
+        assert [match.multiset_id for match in sort_matches(matches)] \
+            == ["c", "a", "b"]
+
+    def test_mixed_identifier_types_fall_back_to_repr(self):
+        matches = [QueryMatch(2, 0.5), QueryMatch("a", 0.5)]
+        ordered = sort_matches(matches)
+        assert {match.multiset_id for match in ordered} == {2, "a"}

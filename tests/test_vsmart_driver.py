@@ -6,10 +6,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.exceptions import JobConfigurationError, MeasureNotApplicableError
+from repro.core.exceptions import (
+    JobConfigurationError,
+    MeasureNotApplicableError,
+    MemoryBudgetExceeded,
+)
 from repro.core.multiset import Multiset
 from repro.core.records import InputTuple, explode_multisets
-from repro.mapreduce.cluster import laptop_cluster
+from repro.mapreduce.cluster import Cluster, laptop_cluster
+from repro.mapreduce.costmodel import CostParameters
 from repro.mapreduce.dfs import Dataset
 from repro.similarity.exact import all_pairs_exact, pair_dictionary
 from repro.vsmart.driver import (
@@ -65,6 +70,25 @@ class TestNormaliseInput:
     def test_garbage_rejected(self):
         with pytest.raises(JobConfigurationError):
             normalise_input(["not a record"])
+
+    def test_unknown_record_type_message_names_the_type(self):
+        with pytest.raises(JobConfigurationError, match="str"):
+            normalise_input(["not a record"])
+
+    def test_mixed_tuples_and_multisets_rejected(self):
+        mixed = [InputTuple("a", "x", 1), Multiset("b", {"y": 1})]
+        with pytest.raises(JobConfigurationError, match="mixed"):
+            normalise_input(mixed)
+
+    def test_mixed_multisets_and_garbage_rejected(self):
+        mixed = [Multiset("b", {"y": 1}), "not a record"]
+        with pytest.raises(JobConfigurationError, match="mixed"):
+            normalise_input(mixed)
+
+    def test_empty_input_yields_named_empty_dataset(self):
+        dataset = normalise_input(iter(()))
+        assert len(dataset) == 0
+        assert dataset.name == "raw_input"
 
 
 class TestDriverCorrectness:
@@ -166,6 +190,29 @@ class TestConvenienceFunction:
                             algorithm="sharding", sharding_threshold=2,
                             cluster=laptop_cluster())
         assert {p.pair for p in pairs} == {("a", "b"), ("d", "e")}
+
+    def test_vsmart_join_forwards_enforce_budgets(self, small_multisets):
+        tiny = Cluster(num_machines=4, memory_per_machine=500,
+                       disk_per_machine=10_000_000)
+        with pytest.raises(MemoryBudgetExceeded):
+            vsmart_join(small_multisets, threshold=0.5, algorithm="lookup",
+                        cluster=tiny)
+        relaxed = vsmart_join(small_multisets, threshold=0.5, algorithm="lookup",
+                              cluster=tiny, enforce_budgets=False)
+        reference = vsmart_join(small_multisets, threshold=0.5,
+                                cluster=laptop_cluster())
+        assert {p.pair for p in relaxed} == {p.pair for p in reference}
+
+    def test_vsmart_join_forwards_cost_parameters(self, overlapping_multisets):
+        slow = CostParameters(job_overhead_seconds=1_000.0)
+        pairs = vsmart_join(overlapping_multisets, threshold=0.8,
+                            cluster=laptop_cluster(), cost_parameters=slow)
+        assert {p.pair for p in pairs} == {("a", "b"), ("d", "e")}
+        # The same calibration through the class API shows it took effect.
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.8),
+                          cluster=laptop_cluster(), cost_parameters=slow)
+        result = join.run(overlapping_multisets)
+        assert result.simulated_seconds >= 3_000.0  # 3+ jobs x 1000s overhead
 
 
 class TestPropertyAgreement:

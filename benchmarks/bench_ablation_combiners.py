@@ -15,7 +15,8 @@ from repro.mapreduce.costmodel import CostParameters
 from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig
 
 
-def test_ablation_combiners(benchmark, small_dataset, cluster_500, cost_parameters):
+def test_ablation_combiners(benchmark, small_dataset, cluster_500, cost_parameters,
+                            bench_record):
     multisets = small_dataset.multisets
 
     def run():
@@ -30,6 +31,13 @@ def test_ablation_combiners(benchmark, small_dataset, cluster_500, cost_paramete
         return outcomes
 
     outcomes = run_once(benchmark, run)
+    bench_record["variants"] = {
+        "combiners_on" if use_combiners else "combiners_off": {
+            "shuffle_bytes": sum(s.shuffle_bytes for s in result.pipeline.job_stats),
+            "simulated_seconds": result.simulated_seconds,
+            "num_pairs": len(result.pairs),
+        }
+        for use_combiners, result in outcomes.items()}
     rows = []
     for use_combiners, result in outcomes.items():
         shuffle = sum(stats.shuffle_bytes for stats in result.pipeline.job_stats)

@@ -26,7 +26,7 @@ def _max_similarity1_group(result):
 
 
 def test_ablation_stop_words_and_chunking(benchmark, small_dataset, cluster_500,
-                                          cost_parameters):
+                                          cost_parameters, bench_record):
     multisets = small_dataset.multisets
 
     def run():
@@ -42,6 +42,11 @@ def test_ablation_stop_words_and_chunking(benchmark, small_dataset, cluster_500,
                 for name, config in variants.items()}
 
     outcomes = run_once(benchmark, run)
+    bench_record["variants"] = {
+        name: {"num_pairs": len(result.pairs),
+               "max_similarity1_group": _max_similarity1_group(result),
+               "simulated_seconds": result.simulated_seconds}
+        for name, result in outcomes.items()}
     rows = []
     for name, result in outcomes.items():
         rows.append([name, len(result.pairs), _max_similarity1_group(result),

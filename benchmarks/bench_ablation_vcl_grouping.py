@@ -18,7 +18,8 @@ from repro.vcl.driver import VCLConfig, VCLJoin
 THRESHOLD = 0.5
 
 
-def test_ablation_vcl_grouping(benchmark, small_dataset, cluster_500, cost_parameters):
+def test_ablation_vcl_grouping(benchmark, small_dataset, cluster_500, cost_parameters,
+                               bench_record):
     multisets = small_dataset.multisets
 
     def run():
@@ -37,6 +38,13 @@ def test_ablation_vcl_grouping(benchmark, small_dataset, cluster_500, cost_param
         return outcomes
 
     outcomes = run_once(benchmark, run)
+    bench_record["variants"] = {
+        name: ({"status": "out_of_memory"}
+               if isinstance(result, MemoryBudgetExceeded)
+               else {"pairs_verified": result.counters().get("vcl/pairs_verified", 0),
+                     "simulated_seconds": result.simulated_seconds,
+                     "num_pairs": len(result.pairs)})
+        for name, result in outcomes.items()}
     rows = []
     for name, result in outcomes.items():
         if isinstance(result, MemoryBudgetExceeded):

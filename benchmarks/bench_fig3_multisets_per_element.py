@@ -31,13 +31,22 @@ def _report(name, dataset):
     return values
 
 
-def test_fig3_small_dataset(benchmark, small_dataset):
+def _record(bench_record, values):
+    bench_record["histogram"] = log_binned_histogram(values)
+    bench_record["skew"] = skew_ratio(values)
+    bench_record["count"] = len(values)
+
+
+def test_fig3_small_dataset(benchmark, small_dataset, bench_record):
     values = run_once(benchmark, lambda: _report("small", small_dataset))
+    _record(bench_record, values)
     assert skew_ratio(values) > 3.0
 
 
-def test_fig3_realistic_dataset(benchmark, realistic_dataset, small_dataset):
+def test_fig3_realistic_dataset(benchmark, realistic_dataset, small_dataset,
+                                bench_record):
     values = run_once(benchmark, lambda: _report("realistic", realistic_dataset))
+    _record(bench_record, values)
     assert skew_ratio(values) > 3.0
     # The realistic preset has the larger alphabet, as in the paper.
     assert len(values) > len(multisets_per_element(small_dataset.multisets))

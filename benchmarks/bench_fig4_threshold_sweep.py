@@ -17,7 +17,8 @@ from repro.analysis.reporting import format_sweep_table, speedup
 ALGORITHMS = ("online_aggregation", "lookup", "sharding", "vcl")
 
 
-def test_fig4_threshold_sweep(benchmark, small_dataset, cluster_500, cost_parameters):
+def test_fig4_threshold_sweep(benchmark, small_dataset, cluster_500, cost_parameters,
+                              bench_record):
     def run():
         return threshold_sweep(ALGORITHMS, small_dataset.multisets, THRESHOLD_GRID,
                                cluster=cluster_500,
@@ -25,6 +26,13 @@ def test_fig4_threshold_sweep(benchmark, small_dataset, cluster_500, cost_parame
                                cost_parameters=cost_parameters, keep_pairs=False)
 
     sweep = run_once(benchmark, run)
+    bench_record["simulated_seconds"] = {
+        threshold: {name: outcome.simulated_seconds
+                    for name, outcome in outcomes.items()}
+        for threshold, outcomes in sweep.items()}
+    bench_record["num_pairs"] = {
+        threshold: outcomes["online_aggregation"].num_pairs
+        for threshold, outcomes in sweep.items()}
     print()
     print(format_sweep_table(sweep, ALGORITHMS, "threshold",
                              title="Fig. 4: simulated run time vs similarity threshold "

@@ -16,7 +16,8 @@ from repro.analysis.reporting import format_sweep_table, relative_drop
 ALGORITHMS = ("online_aggregation", "lookup", "sharding", "vcl")
 
 
-def test_fig5_machine_sweep_small(benchmark, small_dataset, cost_parameters):
+def test_fig5_machine_sweep_small(benchmark, small_dataset, cost_parameters,
+                                  bench_record):
     def run():
         return machine_sweep(ALGORITHMS, small_dataset.multisets, MACHINE_GRID,
                              base_cluster=base_cluster(), threshold=0.5,
@@ -24,6 +25,10 @@ def test_fig5_machine_sweep_small(benchmark, small_dataset, cost_parameters):
                              cost_parameters=cost_parameters, keep_pairs=False)
 
     sweep = run_once(benchmark, run)
+    bench_record["simulated_seconds"] = {
+        machines: {name: outcome.simulated_seconds
+                   for name, outcome in outcomes.items()}
+        for machines, outcomes in sweep.items()}
     print()
     print(format_sweep_table(sweep, ALGORITHMS, "machines",
                              title="Fig. 5: simulated run time vs number of machines "
@@ -34,6 +39,7 @@ def test_fig5_machine_sweep_small(benchmark, small_dataset, cost_parameters):
     for algorithm in ALGORITHMS:
         drops[algorithm] = relative_drop(sweep[fewest][algorithm].simulated_seconds,
                                          sweep[most][algorithm].simulated_seconds)
+    bench_record["relative_drop"] = drops
     print()
     print("Relative run-time reduction from "
           f"{fewest} to {most} machines (paper: OA 53%, Lookup 32%, VCL 35%):")

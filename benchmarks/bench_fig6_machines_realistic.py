@@ -18,7 +18,8 @@ from repro.analysis.reporting import format_table, outcome_cell
 SCALING_ALGORITHMS = ("online_aggregation", "sharding")
 
 
-def test_fig6_machine_sweep_realistic(benchmark, realistic_dataset, cost_parameters):
+def test_fig6_machine_sweep_realistic(benchmark, realistic_dataset, cost_parameters,
+                                      bench_record):
     multisets = realistic_dataset.multisets
 
     def run():
@@ -47,6 +48,14 @@ def test_fig6_machine_sweep_realistic(benchmark, realistic_dataset, cost_paramet
         return results, sweep
 
     failures, sweep = run_once(benchmark, run)
+    bench_record["failures"] = {name: outcome.status
+                                for name, outcome in failures.items()}
+    bench_record["scaling"] = {
+        machines: {name: {"total": outcome.simulated_seconds,
+                          "joining": outcome.joining_seconds,
+                          "similarity": outcome.similarity_seconds}
+                   for name, outcome in outcomes.items()}
+        for machines, outcomes in sweep.items()}
 
     print()
     print("Fig. 6 (realistic dataset, t = 0.5):")

@@ -15,13 +15,15 @@ from repro.analysis.experiments import sharding_parameter_sweep
 from repro.analysis.reporting import format_table
 
 
-def test_fig7_sharding_parameter_sweep(benchmark, realistic_dataset, cost_parameters):
+def test_fig7_sharding_parameter_sweep(benchmark, realistic_dataset, cost_parameters,
+                                       bench_record):
     def run():
         return sharding_parameter_sweep(realistic_dataset.multisets, SHARDING_C_GRID,
                                         base_cluster(), threshold=0.5,
                                         cost_parameters=cost_parameters)
 
     sweep = run_once(benchmark, run)
+    bench_record["sweep"] = sweep
     rows = []
     for parameter in sorted(sweep):
         row = sweep[parameter]

@@ -20,7 +20,8 @@ THRESHOLDS = (0.1, 0.5, 0.9)
 DISTRIBUTED = ("online_aggregation", "lookup", "sharding", "vcl")
 
 
-def test_pair_agreement(benchmark, small_dataset, cluster_500, cost_parameters):
+def test_pair_agreement(benchmark, small_dataset, cluster_500, cost_parameters,
+                        bench_record):
     multisets = small_dataset.multisets
 
     def run():
@@ -41,6 +42,9 @@ def test_pair_agreement(benchmark, small_dataset, cluster_500, cost_parameters):
         return report
 
     report = run_once(benchmark, run)
+    bench_record["pairs_per_algorithm"] = {
+        threshold: {name: len(pairs) for name, pairs in per_algorithm.items()}
+        for threshold, per_algorithm in report.items()}
     rows = []
     for threshold, per_algorithm in sorted(report.items()):
         rows.append([threshold] + [len(per_algorithm[name])

@@ -20,7 +20,8 @@ THRESHOLDS = (0.1, 0.3, 0.5)
 MINIMUM_COOKIES = 25
 
 
-def test_proxy_identification(benchmark, realistic_dataset, cost_parameters):
+def test_proxy_identification(benchmark, realistic_dataset, cost_parameters,
+                              bench_record):
     dataset = realistic_dataset
     cluster = paper_scale_cluster(500)
 
@@ -52,6 +53,13 @@ def test_proxy_identification(benchmark, realistic_dataset, cost_parameters):
         return report, lookup_after_filter
 
     report, lookup_after_filter = run_once(benchmark, run)
+    bench_record["quality"] = {
+        threshold: {variant: {"discovered_pairs": evaluation.discovered_pairs,
+                              "coverage": evaluation.coverage,
+                              "false_positive_rate": evaluation.false_positive_rate}
+                    for variant, evaluation in evaluations.items()}
+        for threshold, evaluations in report.items()}
+    bench_record["lookup_after_filter"] = lookup_after_filter.status
     rows = []
     for threshold, evaluations in sorted(report.items()):
         raw = evaluations["raw"]

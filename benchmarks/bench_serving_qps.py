@@ -48,7 +48,7 @@ def _replay(num_shards: int, multisets, queries) -> dict[str, float]:
     }
 
 
-def test_serving_qps_one_vs_four_shards(benchmark, small_dataset):
+def test_serving_qps_one_vs_four_shards(benchmark, small_dataset, bench_record):
     multisets = small_dataset.multisets
     queries = generate_query_workload(
         multisets, QueryWorkloadConfig(num_queries=NUM_QUERIES,
@@ -60,6 +60,8 @@ def test_serving_qps_one_vs_four_shards(benchmark, small_dataset):
                 _replay(4, multisets, queries)]
 
     results = run_once(benchmark, run)
+    bench_record["workload"] = workload
+    bench_record["fleets"] = results
     rows = [[row["num_shards"],
              f"{row['qps']:,.0f}",
              f"{row['cache_hit_rate']:.1%}",

@@ -6,11 +6,24 @@ the paper plots.  Wall-clock timing is recorded once per benchmark via
 pytest-benchmark (``rounds=1``); the numbers the figures compare are the
 deterministic *simulated* run times from the cost model, printed as tables.
 
-Set ``REPRO_BENCH_QUICK=1`` to use coarser sweep grids.
+Every benchmark also dumps its headline series through the ``bench_record``
+fixture: a ``BENCH_<name>.json`` file per benchmark, written to
+``REPRO_BENCH_RECORD_DIR`` (default: ``benchmarks/results/``).  CI uploads
+those files as workflow artifacts so the benchmark trajectory is tracked
+run over run.
+
+Modes, selected by environment variable:
+
+* ``REPRO_BENCH_QUICK=1`` — coarser sweep grids, same datasets;
+* ``REPRO_BENCH_SMOKE=1`` — implies quick, and additionally shrinks the
+  workload sizes of the non-figure benchmarks; this is the mode CI's
+  ``bench-smoke`` job runs.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 
 import pytest
@@ -18,7 +31,8 @@ import pytest
 from repro.analysis.calibration import paper_scale_cluster, paper_scale_cost_parameters
 from repro.datasets.ip_cookie import generate_preset
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+QUICK = SMOKE or os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 #: Threshold grid of Fig. 4 (0.1 .. 0.9).
 THRESHOLD_GRID = (0.1, 0.5, 0.9) if QUICK else tuple(round(0.1 * i, 1) for i in range(1, 10))
@@ -64,3 +78,57 @@ def base_cluster():
 def run_once(benchmark, function):
     """Record a single timed execution of ``function`` with pytest-benchmark."""
     return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# -- benchmark-result recording ----------------------------------------------
+
+
+def jsonable(value):
+    """Convert benchmark payloads (dataclasses, sets, numpy scalars) to JSON."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(item) for item in value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return jsonable(item())
+    return repr(value)
+
+
+def record_directory() -> str:
+    """Where ``BENCH_*.json`` files land (override: REPRO_BENCH_RECORD_DIR)."""
+    return os.environ.get(
+        "REPRO_BENCH_RECORD_DIR",
+        os.path.join(os.path.dirname(__file__), "results"))
+
+
+@pytest.fixture
+def bench_record(request):
+    """A dict the benchmark fills with its headline series.
+
+    Whatever the benchmark puts here is written to
+    ``BENCH_<benchmark_name>.json`` after the test finishes (pass or fail,
+    so regressions still leave a record of the series that tripped them).
+    """
+    payload: dict = {}
+    yield payload
+    if not payload:
+        return
+    name = request.node.name.removeprefix("test_")
+    document = {
+        "benchmark": name,
+        "mode": "smoke" if SMOKE else ("quick" if QUICK else "full"),
+        "series": jsonable(payload),
+    }
+    directory = record_directory()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")

@@ -39,7 +39,17 @@ Quickstart::
 """
 
 from repro.core import InputTuple, Multiset, SimilarPair, SparseVector
-from repro.mapreduce import Cluster, laptop_cluster, paper_cluster
+from repro.mapreduce import (
+    Cluster,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    laptop_cluster,
+    paper_cluster,
+)
 from repro.serving import (
     ServingNode,
     ShardedSimilarityService,
@@ -50,25 +60,31 @@ from repro.similarity import all_pairs_exact, compute_similarity, get_measure
 from repro.vcl import VCLConfig, VCLJoin, vcl_join
 from repro.vsmart import VSmartJoin, VSmartJoinConfig, vsmart_join
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Cluster",
+    "ExecutionBackend",
     "InputTuple",
     "Multiset",
+    "ProcessBackend",
+    "SerialBackend",
     "ServingNode",
     "ShardedSimilarityService",
     "SimilarPair",
     "SimilarityIndex",
     "SparseVector",
+    "ThreadBackend",
     "VCLConfig",
     "VCLJoin",
     "VSmartJoin",
     "VSmartJoinConfig",
     "__version__",
     "all_pairs_exact",
+    "available_backends",
     "bootstrap_from_join",
     "compute_similarity",
+    "get_backend",
     "get_measure",
     "laptop_cluster",
     "paper_cluster",

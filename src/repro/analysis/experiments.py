@@ -21,6 +21,7 @@ from repro.core.exceptions import (
 )
 from repro.core.multiset import Multiset
 from repro.core.records import SimilarPair
+from repro.mapreduce.backends import ExecutionBackend
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.costmodel import DEFAULT_COST_PARAMETERS, CostParameters
 from repro.vcl.driver import VCLConfig, VCLJoin
@@ -72,6 +73,7 @@ def run_algorithm(algorithm: str,
                   vcl_element_order: str = "frequency",
                   vcl_super_element_groups: int | None = None,
                   cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+                  backend: str | ExecutionBackend = "serial",
                   keep_pairs: bool = True) -> AlgorithmOutcome:
     """Run one algorithm and capture its outcome, including failure modes.
 
@@ -79,7 +81,8 @@ def run_algorithm(algorithm: str,
     selected by name.  Memory-budget violations, simulated-scheduler kills,
     disk exhaustion and missing engine features are converted into statuses,
     mirroring how the paper reports algorithms that "never succeeded to
-    finish".
+    finish".  ``backend`` selects the execution backend; outcomes (pairs,
+    counters, simulated times and failure statuses) are backend-invariant.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
@@ -88,8 +91,9 @@ def run_algorithm(algorithm: str,
             config = VCLConfig(measure=measure, threshold=threshold,
                                element_order=vcl_element_order,
                                super_element_groups=vcl_super_element_groups)
-            result = VCLJoin(config, cluster=cluster,
-                             cost_parameters=cost_parameters).run(multisets)
+            with VCLJoin(config, cluster=cluster, cost_parameters=cost_parameters,
+                         backend=backend) as join:
+                result = join.run(multisets)
             return AlgorithmOutcome(
                 algorithm=algorithm,
                 status=STATUS_OK,
@@ -103,8 +107,9 @@ def run_algorithm(algorithm: str,
                                   stop_word_frequency=stop_word_frequency,
                                   chunk_size=chunk_size,
                                   use_combiners=use_combiners)
-        result = VSmartJoin(config, cluster=cluster,
-                            cost_parameters=cost_parameters).run(multisets)
+        with VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters,
+                        backend=backend) as join:
+            result = join.run(multisets)
         return AlgorithmOutcome(
             algorithm=algorithm,
             status=STATUS_OK,

@@ -74,6 +74,11 @@ class MemoryBudgetExceeded(MapReduceError):
         self.required_bytes = int(required_bytes)
         self.budget_bytes = int(budget_bytes)
 
+    def __reduce__(self):
+        # Preserve the byte attributes when the exception is pickled across
+        # a process boundary (raised inside a ProcessBackend worker).
+        return (type(self), (str(self), self.required_bytes, self.budget_bytes))
+
 
 class DiskBudgetExceeded(MapReduceError):
     """Raised when a job writes more intermediate data than the disk budget."""
@@ -83,6 +88,9 @@ class DiskBudgetExceeded(MapReduceError):
         super().__init__(message)
         self.required_bytes = int(required_bytes)
         self.budget_bytes = int(budget_bytes)
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.required_bytes, self.budget_bytes))
 
 
 class JobTimeoutError(MapReduceError):
@@ -98,6 +106,9 @@ class JobTimeoutError(MapReduceError):
         super().__init__(message)
         self.simulated_seconds = float(simulated_seconds)
         self.limit_seconds = float(limit_seconds)
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.simulated_seconds, self.limit_seconds))
 
 
 class PipelineError(MapReduceError):

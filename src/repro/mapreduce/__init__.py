@@ -6,6 +6,14 @@ per-machine loads, memory/disk budgets and a calibrated cost model provide a
 deterministic *simulated* run time used by the figure benchmarks.
 """
 
+from repro.mapreduce.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+)
 from repro.mapreduce.cluster import (
     GIGABYTE,
     GOOGLE_MAPREDUCE,
@@ -57,6 +65,7 @@ __all__ = [
     "Counters",
     "DEFAULT_COST_PARAMETERS",
     "Dataset",
+    "ExecutionBackend",
     "GIGABYTE",
     "GOOGLE_MAPREDUCE",
     "HADOOP",
@@ -71,10 +80,15 @@ __all__ = [
     "PhaseStats",
     "PipelineResult",
     "PipelineStats",
+    "ProcessBackend",
     "Reducer",
+    "SerialBackend",
     "SummingCombiner",
     "TaskContext",
+    "ThreadBackend",
+    "available_backends",
     "estimate_record_bytes",
+    "get_backend",
     "first_component_partitioner",
     "hash_partitioner",
     "laptop_cluster",

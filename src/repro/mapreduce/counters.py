@@ -32,6 +32,10 @@ class Counters:
         """Fold another counter set into this one."""
         self._values.update(other._values)
 
+    def merge_dict(self, values: dict[str, int]) -> None:
+        """Fold a plain counter snapshot (e.g. from a worker task) into this one."""
+        self._values.update(values)
+
     def as_dict(self) -> dict[str, int]:
         """Return a plain dictionary snapshot of all counters."""
         return dict(self._values)

@@ -54,6 +54,14 @@ class Mapper:
     :meth:`map` must be pure and deterministic (a MapReduce requirement for
     fault tolerance) and yields ``(key, value)`` or
     ``(key, value, secondary_key)`` tuples, or :class:`KeyValue` records.
+
+    :meth:`setup` and :meth:`cleanup` run once per *task*, exactly as in
+    real MapReduce.  The serial backend runs the whole input as one task;
+    parallel backends split it into one task per worker, so a mapper that
+    accumulates state across records (emitting from ``cleanup``, counting
+    in ``setup``) sees per-task slices there — only mappers whose hooks are
+    stateless (every mapper in this library) produce backend-invariant
+    output.
     """
 
     def setup(self, context: TaskContext) -> None:
@@ -102,6 +110,11 @@ class Reducer:
     key when the engine profile supports secondary keys and the job asked
     for them.  Output records are arbitrary Python objects; they become the
     records of the job's output dataset.
+
+    As for :class:`Mapper`, :meth:`setup` and :meth:`cleanup` run once per
+    task — one task on the serial backend, one per worker batch of reduce
+    partitions on the parallel backends — so backend-invariant output
+    requires hooks that carry no cross-group state.
     """
 
     #: Set to True when the reducer must hold the whole reduce value list in

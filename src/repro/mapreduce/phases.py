@@ -1,0 +1,339 @@
+"""Self-contained phase tasks executed by the pluggable backends.
+
+The runner splits every job into *tasks*: contiguous chunks of the input for
+the map phase, batches of mapper machines for the combine phase and batches
+of reduce partitions for the reduce phase.  Each task carries everything it
+needs (the job, its slice of the data and the accounting parameters), is
+executed by a module-level function — so tasks can be shipped to worker
+processes by pickling — and returns both its emissions and an exact
+:class:`~repro.mapreduce.types.PhaseStats` partial.
+
+All partial statistics are integer-valued, so merging them (sums and maxes)
+reproduces the serial runner's :class:`~repro.mapreduce.types.JobStats`
+bit-for-bit regardless of how the work was split across workers.  Map and
+combine tasks also pre-partition their output into per-worker *spill
+dictionaries* (``partition -> key -> records``); the runner merges those in
+task order, which reproduces the serial shuffle's first-occurrence key order
+because task slices are contiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.exceptions import MemoryBudgetExceeded
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobSpec, TaskContext, iterate_emissions
+from repro.mapreduce.types import KeyValue, PhaseStats, estimate_record_bytes
+
+#: The shuffle's spill structure: reduce partition -> key -> records.
+Spill = dict[int, dict[Any, list[KeyValue]]]
+
+
+def check_memory_budget(job_name: str, what: str, required: int,
+                        budget: int | None) -> None:
+    """Raise :class:`MemoryBudgetExceeded` when ``required`` exceeds ``budget``.
+
+    ``budget`` is ``None`` when budget enforcement is disabled.
+    """
+    if budget is None or required <= budget:
+        return
+    raise MemoryBudgetExceeded(
+        f"job {job_name!r}: {what} needs {required} bytes but each "
+        f"machine only has {budget} bytes of memory",
+        required_bytes=required, budget_bytes=budget)
+
+
+def spill_record(spill: Spill, partition: int, key_value: KeyValue) -> None:
+    """Append one record to a spill dictionary."""
+    spill.setdefault(partition, {}).setdefault(key_value.key, []).append(key_value)
+
+
+def merge_spills(target: Spill, source: Spill) -> None:
+    """Merge one task's spill into the accumulated shuffle, preserving order."""
+    for partition, groups in source.items():
+        target_groups = target.setdefault(partition, {})
+        for key, key_values in groups.items():
+            existing = target_groups.get(key)
+            if existing is None:
+                target_groups[key] = list(key_values)
+            else:
+                existing.extend(key_values)
+
+
+# -- map tasks ----------------------------------------------------------------
+
+
+@dataclass
+class MapTask:
+    """One contiguous slice of the input records, mapped as a single task."""
+
+    job: JobSpec
+    records: tuple
+    start_index: int
+    num_machines: int
+    overhead: int
+    num_reducers: int
+    #: Whether to pre-partition the map output for the shuffle (map-side
+    #: spill); disabled when a combiner will rewrite the output anyway.
+    build_spill: bool
+
+
+@dataclass
+class MapTaskResult:
+    """Emissions and exact accounting for one executed :class:`MapTask`.
+
+    ``emissions`` and ``spill`` are mutually exclusive: with
+    ``build_spill`` the runner consumes only the pre-partitioned spill, so
+    the flat emission list is not materialised (halving what a process
+    worker ships back); without it the flat list is the product.  Cleanup
+    emissions are always returned flat — the runner partitions them last,
+    mirroring their position at the end of the serial runner's single pass.
+    """
+
+    emissions: list[KeyValue]
+    cleanup_emissions: list[KeyValue]
+    spill: Spill | None
+    phase: PhaseStats
+    max_input_record: int
+    max_output_record: int
+    counters: dict[str, int]
+
+
+def execute_map_task(task: MapTask) -> MapTaskResult:
+    """Run the mapper over one slice of the input, mirroring the serial loop."""
+    job = task.job
+    counters = Counters()
+    context = TaskContext(counters, job.side_data, task.num_machines, job.name)
+    job.mapper.setup(context)
+    phase = PhaseStats()
+    emissions: list[KeyValue] = []
+    spill: Spill | None = {} if task.build_spill else None
+    max_input_record = 0
+    max_output_record = 0
+    for offset, record in enumerate(task.records):
+        machine = (task.start_index + offset) % task.num_machines
+        bytes_in = estimate_record_bytes(record)
+        max_input_record = max(max_input_record, bytes_in)
+        bytes_out = 0
+        emitted_count = 0
+        for key_value in iterate_emissions(job.mapper.map(record, context)):
+            size = estimate_record_bytes(key_value)
+            bytes_out += size
+            max_output_record = max(max_output_record, size)
+            if spill is None:
+                emissions.append(key_value)
+            else:
+                spill_record(spill, job.partitioner(key_value.key, task.num_reducers),
+                             key_value)
+            emitted_count += 1
+        work = bytes_in + bytes_out + task.overhead * (1 + emitted_count)
+        phase.records_in += 1
+        phase.records_out += emitted_count
+        phase.bytes_in += bytes_in
+        phase.bytes_out += bytes_out
+        phase.add_machine_work(machine, work)
+    cleanup_emissions: list[KeyValue] = []
+    cleanup_bytes = 0
+    for key_value in iterate_emissions(job.mapper.cleanup(context)):
+        size = estimate_record_bytes(key_value)
+        cleanup_bytes += size
+        max_output_record = max(max_output_record, size)
+        cleanup_emissions.append(key_value)
+    if cleanup_emissions:
+        phase.records_out += len(cleanup_emissions)
+        phase.bytes_out += cleanup_bytes
+        phase.add_machine_work(0, cleanup_bytes + task.overhead * len(cleanup_emissions))
+    return MapTaskResult(emissions=emissions, cleanup_emissions=cleanup_emissions,
+                         spill=spill, phase=phase,
+                         max_input_record=max_input_record,
+                         max_output_record=max_output_record,
+                         counters=counters.as_dict())
+
+
+# -- combine tasks ------------------------------------------------------------
+
+
+@dataclass
+class CombineTask:
+    """A batch of mapper machines whose output is combined as one task.
+
+    ``machines`` holds ``(machine, groups)`` entries in ascending machine
+    order, where ``groups`` maps ``(key, secondary)`` to that machine's
+    records for the group.
+    """
+
+    job: JobSpec
+    machines: list[tuple[int, dict[tuple, list[KeyValue]]]]
+    num_machines: int
+    overhead: int
+    num_reducers: int
+    build_spill: bool
+
+
+@dataclass
+class CombineMachineOutput:
+    """The combined output and accounting of one mapper machine."""
+
+    machine: int
+    combined: list[KeyValue]
+    records_in: int
+    records_out: int
+    bytes_in: int
+    bytes_out: int
+    work: int
+
+
+@dataclass
+class CombineTaskResult:
+    """Per-machine outputs and accounting for one :class:`CombineTask`."""
+
+    outputs: list[CombineMachineOutput]
+    spill: Spill | None
+    counters: dict[str, int]
+
+
+def execute_combine_task(task: CombineTask) -> CombineTaskResult:
+    """Run the dedicated combiner over a batch of mapper machines."""
+    job = task.job
+    combiner = job.combiner
+    assert combiner is not None
+    counters = Counters()
+    context = TaskContext(counters, job.side_data, task.num_machines, job.name)
+    spill: Spill | None = {} if task.build_spill else None
+    outputs: list[CombineMachineOutput] = []
+    for machine, groups in task.machines:
+        machine_bytes_in = 0
+        machine_bytes_out = 0
+        records_in = 0
+        records_out = 0
+        combined: list[KeyValue] = []
+        for (key, secondary), key_values in groups.items():
+            values = [kv.value for kv in key_values]
+            machine_bytes_in += sum(estimate_record_bytes(kv) for kv in key_values)
+            records_in += len(values)
+            for value in combiner.combine(key, values, context):
+                new_kv = KeyValue(key, value, secondary)
+                # As for map tasks: either the flat output or the spill is
+                # the product, never both.
+                if spill is None:
+                    combined.append(new_kv)
+                else:
+                    spill_record(spill, job.partitioner(key, task.num_reducers), new_kv)
+                machine_bytes_out += estimate_record_bytes(new_kv)
+                records_out += 1
+        work = machine_bytes_in + machine_bytes_out + task.overhead * records_in
+        outputs.append(CombineMachineOutput(
+            machine=machine, combined=combined,
+            records_in=records_in, records_out=records_out,
+            bytes_in=machine_bytes_in, bytes_out=machine_bytes_out, work=work))
+    return CombineTaskResult(outputs=outputs, spill=spill,
+                             counters=counters.as_dict())
+
+
+# -- reduce tasks -------------------------------------------------------------
+
+
+@dataclass
+class ReduceTask:
+    """A batch of reduce partitions executed as one task.
+
+    ``partitions`` holds ``(partition, groups)`` entries in ascending
+    partition order, where ``groups`` maps each reduce key to its (already
+    secondary-sorted) reduce value list.
+    """
+
+    job: JobSpec
+    partitions: list[tuple[int, dict[Any, list[KeyValue]]]]
+    num_machines: int
+    overhead: int
+    #: Per-machine memory budget, or ``None`` when enforcement is disabled.
+    memory_budget: int | None
+
+
+@dataclass
+class ReduceTaskResult:
+    """Output records and exact accounting for one :class:`ReduceTask`."""
+
+    output_records: list[Any]
+    phase: PhaseStats
+    reduce_groups: int
+    max_group_records: int
+    max_group_bytes: int
+    peak_task_memory: int
+    counters: dict[str, int]
+
+
+def execute_reduce_task(task: ReduceTask) -> ReduceTaskResult:
+    """Run the reducer over a batch of partitions, mirroring the serial loop."""
+    job = task.job
+    reducer = job.reducer
+    assert reducer is not None
+    counters = Counters()
+    context = TaskContext(counters, job.side_data, task.num_machines, job.name)
+    reducer.setup(context)
+    phase = PhaseStats()
+    output_records: list[Any] = []
+    reduce_groups = 0
+    max_group_records = 0
+    max_group_bytes = 0
+    peak_task_memory = 0
+    for partition, groups in task.partitions:
+        machine = partition % task.num_machines
+        for key, key_values in groups.items():
+            values = [kv.value for kv in key_values]
+            bytes_in = sum(estimate_record_bytes(kv) for kv in key_values)
+            reduce_groups += 1
+            max_group_records = max(max_group_records, len(values))
+            max_group_bytes = max(max_group_bytes, bytes_in)
+            if reducer.materializes_input:
+                # Side data is loaded by the mappers of the jobs in this
+                # library, so the reducer budget covers only the
+                # materialised value list.
+                peak_task_memory = max(peak_task_memory, bytes_in)
+                check_memory_budget(job.name, f"reduce value list of key {key!r}",
+                                    bytes_in, task.memory_budget)
+            bytes_out = 0
+            records_out = 0
+            for record in reducer.reduce(key, values, context):
+                output_records.append(record)
+                bytes_out += estimate_record_bytes(record)
+                records_out += 1
+            work = bytes_in + bytes_out + task.overhead * len(values)
+            phase.records_in += len(values)
+            phase.records_out += records_out
+            phase.bytes_in += bytes_in
+            phase.bytes_out += bytes_out
+            phase.add_machine_work(machine, work)
+    cleanup_bytes = 0
+    cleanup_count = 0
+    for record in reducer.cleanup(context):
+        output_records.append(record)
+        cleanup_bytes += estimate_record_bytes(record)
+        cleanup_count += 1
+    if cleanup_count:
+        phase.records_out += cleanup_count
+        phase.bytes_out += cleanup_bytes
+        phase.add_machine_work(0, cleanup_bytes + task.overhead * cleanup_count)
+    return ReduceTaskResult(output_records=output_records, phase=phase,
+                            reduce_groups=reduce_groups,
+                            max_group_records=max_group_records,
+                            max_group_bytes=max_group_bytes,
+                            peak_task_memory=peak_task_memory,
+                            counters=counters.as_dict())
+
+
+def split_slices(count: int, pieces: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into at most ``pieces`` contiguous slices.
+
+    Returns ``(start, stop)`` pairs covering the range in order.  An empty
+    range yields a single empty slice so that per-task lifecycle hooks
+    (mapper/reducer setup and cleanup) still run exactly once on the serial
+    backend, matching the original runner.
+    """
+    if count <= 0:
+        return [(0, 0)]
+    pieces = max(1, min(pieces, count))
+    bounds = [(count * index) // pieces for index in range(pieces + 1)]
+    return [(bounds[index], bounds[index + 1]) for index in range(pieces)]

@@ -19,6 +19,13 @@ and reducer really runs — while the *performance* of the run is modelled:
 * the cost model converts the measured loads into a simulated run time, and
   the scheduler kills jobs whose simulated time exceeds the cluster limit
   (as happened to the VCL kernel mappers in the paper).
+
+Where the work *actually* runs is pluggable: the runner splits every phase
+into self-contained tasks (:mod:`repro.mapreduce.phases`) and hands them to
+an :class:`~repro.mapreduce.backends.ExecutionBackend` — serially (the
+default), on a thread pool or on a multiprocessing pool.  Task partials are
+integer-valued and merged deterministically, so results, counters and
+simulated times are identical across backends; only wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -29,9 +36,9 @@ from typing import Any
 from repro.core.exceptions import (
     DiskBudgetExceeded,
     JobTimeoutError,
-    MemoryBudgetExceeded,
     UnsupportedFeatureError,
 )
+from repro.mapreduce.backends import ExecutionBackend, get_backend
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.costmodel import (
     DEFAULT_COST_PARAMETERS,
@@ -40,7 +47,20 @@ from repro.mapreduce.costmodel import (
 )
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.dfs import Dataset
-from repro.mapreduce.job import JobSpec, TaskContext, iterate_emissions
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.phases import (
+    CombineTask,
+    MapTask,
+    ReduceTask,
+    Spill,
+    check_memory_budget,
+    execute_combine_task,
+    execute_map_task,
+    execute_reduce_task,
+    merge_spills,
+    spill_record,
+    split_slices,
+)
 from repro.mapreduce.types import JobStats, KeyValue, estimate_record_bytes
 
 
@@ -76,7 +96,9 @@ class PipelineResult:
         for stats in self.job_stats:
             if stats.job_name == job_name:
                 return stats
-        raise KeyError(f"no job named {job_name!r} in pipeline {self.name!r}")
+        available = ", ".join(repr(stats.job_name) for stats in self.job_stats)
+        raise KeyError(f"no job named {job_name!r} in pipeline {self.name!r}; "
+                       f"available jobs: {available or '(none)'}")
 
     def counters(self) -> dict[str, int]:
         """Return all counters summed across the pipeline's jobs."""
@@ -88,15 +110,37 @@ class PipelineResult:
 
 
 class LocalJobRunner:
-    """Execute simulated MapReduce jobs on a cluster description."""
+    """Execute simulated MapReduce jobs on a cluster description.
+
+    ``backend`` selects where mapper/combiner/reducer work physically runs
+    (``"serial"``, ``"thread"``, ``"process"`` or an
+    :class:`~repro.mapreduce.backends.ExecutionBackend` instance); see
+    :mod:`repro.mapreduce.backends`.  The runner owns backends it creates
+    from a name and releases them in :meth:`close`; backend instances passed
+    in are borrowed and left for the caller to close.
+    """
 
     def __init__(self, cluster: Cluster,
                  cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
-                 enforce_budgets: bool = True) -> None:
+                 enforce_budgets: bool = True,
+                 backend: str | ExecutionBackend = "serial") -> None:
         self.cluster = cluster
         self.cost_parameters = cost_parameters
         self.cost_model = CostModel(cost_parameters)
         self.enforce_budgets = enforce_budgets
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = get_backend(backend)
+
+    def close(self) -> None:
+        """Release the runner's backend when the runner created it."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "LocalJobRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- public API ----------------------------------------------------------
 
@@ -108,17 +152,31 @@ class LocalJobRunner:
 
         side_data_bytes = self._side_data_bytes(job)
         stats.side_data_bytes = side_data_bytes
-        self._check_memory(job.name, "side data",
-                           side_data_bytes, stats)
+        self._check_memory(job.name, "side data", side_data_bytes)
 
-        map_output = self._run_map_phase(job, dataset, stats, counters)
-        map_output = self._run_combine_phase(job, map_output, stats, counters)
-        groups = self._shuffle(job, map_output, stats)
+        num_reducers = job.num_reducers or self.cluster.num_machines
+        want_shuffle = job.reducer is not None
+
+        map_output, spill = self._run_map_phase(
+            job, dataset, stats, counters, num_reducers,
+            build_spill=want_shuffle and job.combiner is None)
+        if job.combiner is not None:
+            map_output, spill = self._run_combine_phase(
+                job, map_output, stats, counters, num_reducers,
+                build_spill=want_shuffle)
+
+        # The shuffle moves (and spills once on the map side) exactly the
+        # bytes the last map-side phase emitted.
+        stats.shuffle_bytes = (stats.combine.bytes_out if job.combiner is not None
+                               else stats.map.bytes_out)
+        stats.spilled_bytes = stats.shuffle_bytes
 
         if job.reducer is None:
             output_records: list[Any] = [kv for kv in map_output]
         else:
-            output_records = self._run_reduce_phase(job, groups, stats, counters)
+            assert spill is not None
+            partitions = self._finish_shuffle(job, spill)
+            output_records = self._run_reduce_phase(job, partitions, stats, counters)
 
         self._check_disk(job.name, stats)
         stats.merge_counters(counters.as_dict())
@@ -130,59 +188,52 @@ class LocalJobRunner:
     # -- phases ---------------------------------------------------------------
 
     def _run_map_phase(self, job: JobSpec, dataset: Dataset,
-                       stats: JobStats, counters: Counters) -> list[KeyValue]:
-        context = TaskContext(counters, job.side_data,
-                              self.cluster.num_machines, job.name)
-        job.mapper.setup(context)
+                       stats: JobStats, counters: Counters,
+                       num_reducers: int,
+                       build_spill: bool) -> tuple[list[KeyValue], Spill | None]:
+        records = tuple(dataset)
         overhead = self.cost_parameters.record_overhead_bytes
         machines = self.cluster.num_machines
+        tasks = [MapTask(job=job, records=records[start:stop], start_index=start,
+                         num_machines=machines, overhead=overhead,
+                         num_reducers=num_reducers, build_spill=build_spill)
+                 for start, stop in split_slices(len(records),
+                                                 self.backend.num_workers)]
+        results = self.backend.run_tasks(execute_map_task, tasks)
+
         map_output: list[KeyValue] = []
+        cleanup_emissions: list[KeyValue] = []
+        spill: Spill | None = {} if build_spill else None
         max_input_record = 0
         max_output_record = 0
-        for index, record in enumerate(dataset):
-            machine = index % machines
-            bytes_in = estimate_record_bytes(record)
-            max_input_record = max(max_input_record, bytes_in)
-            bytes_out = 0
-            emitted_count = 0
-            for key_value in iterate_emissions(job.mapper.map(record, context)):
-                size = estimate_record_bytes(key_value)
-                bytes_out += size
-                max_output_record = max(max_output_record, size)
-                map_output.append(key_value)
-                emitted_count += 1
-            work = bytes_in + bytes_out + overhead * (1 + emitted_count)
-            stats.map.records_in += 1
-            stats.map.records_out += emitted_count
-            stats.map.bytes_in += bytes_in
-            stats.map.bytes_out += bytes_out
-            stats.map.add_machine_work(machine, work)
-        cleanup_bytes = 0
-        cleanup_count = 0
-        for key_value in iterate_emissions(job.mapper.cleanup(context)):
-            size = estimate_record_bytes(key_value)
-            cleanup_bytes += size
-            max_output_record = max(max_output_record, size)
-            map_output.append(key_value)
-            cleanup_count += 1
-        if cleanup_count:
-            stats.map.records_out += cleanup_count
-            stats.map.bytes_out += cleanup_bytes
-            stats.map.add_machine_work(0, cleanup_bytes + overhead * cleanup_count)
+        for result in results:
+            map_output.extend(result.emissions)
+            cleanup_emissions.extend(result.cleanup_emissions)
+            if spill is not None and result.spill is not None:
+                merge_spills(spill, result.spill)
+            stats.map.merge(result.phase)
+            max_input_record = max(max_input_record, result.max_input_record)
+            max_output_record = max(max_output_record, result.max_output_record)
+            counters.merge_dict(result.counters)
+        map_output.extend(cleanup_emissions)
+        if spill is not None:
+            # Cleanup emissions enter the shuffle last, as in the serial
+            # runner's single pass over the full map output.
+            for key_value in cleanup_emissions:
+                spill_record(spill, job.partitioner(key_value.key, num_reducers),
+                             key_value)
 
         task_memory = stats.side_data_bytes + max_input_record + max_output_record
         stats.peak_task_memory = max(stats.peak_task_memory, task_memory)
-        self._check_memory(job.name, "map task working set", task_memory, stats)
-        return map_output
+        self._check_memory(job.name, "map task working set", task_memory)
+        return map_output, spill
 
     def _run_combine_phase(self, job: JobSpec, map_output: list[KeyValue],
-                           stats: JobStats, counters: Counters) -> list[KeyValue]:
-        if job.combiner is None:
-            return map_output
-        context = TaskContext(counters, job.side_data,
-                              self.cluster.num_machines, job.name)
-        overhead = self.cost_parameters.record_overhead_bytes
+                           stats: JobStats, counters: Counters,
+                           num_reducers: int,
+                           build_spill: bool) -> tuple[list[KeyValue], Spill | None]:
         machines = self.cluster.num_machines
+        overhead = self.cost_parameters.record_overhead_bytes
         # Dedicated combiners run on the mapper machines: group this
         # machine's output by (key, secondary) and combine each group.
         per_machine: dict[int, dict[tuple, list[KeyValue]]] = {}
@@ -190,100 +241,70 @@ class LocalJobRunner:
             machine = index % machines
             group_key = (key_value.key, key_value.secondary)
             per_machine.setdefault(machine, {}).setdefault(group_key, []).append(key_value)
-        combined: list[KeyValue] = []
-        for machine, groups in sorted(per_machine.items()):
-            machine_bytes_in = 0
-            machine_bytes_out = 0
-            records_in = 0
-            records_out = 0
-            for (key, secondary), key_values in groups.items():
-                values = [kv.value for kv in key_values]
-                machine_bytes_in += sum(estimate_record_bytes(kv) for kv in key_values)
-                records_in += len(values)
-                for value in job.combiner.combine(key, values, context):
-                    new_kv = KeyValue(key, value, secondary)
-                    combined.append(new_kv)
-                    machine_bytes_out += estimate_record_bytes(new_kv)
-                    records_out += 1
-            stats.combine.records_in += records_in
-            stats.combine.records_out += records_out
-            stats.combine.bytes_in += machine_bytes_in
-            stats.combine.bytes_out += machine_bytes_out
-            work = machine_bytes_in + machine_bytes_out + overhead * records_in
-            stats.combine.add_machine_work(machine, work)
-            # Combining happens on the mapper machine; fold it into map work
-            # so the cost model charges the same machine.
-            stats.map.add_machine_work(machine, work)
-        return combined
+        machine_items = sorted(per_machine.items())
+        tasks = [CombineTask(job=job, machines=machine_items[start:stop],
+                             num_machines=machines, overhead=overhead,
+                             num_reducers=num_reducers, build_spill=build_spill)
+                 for start, stop in split_slices(len(machine_items),
+                                                 self.backend.num_workers)
+                 if stop > start]
+        results = self.backend.run_tasks(execute_combine_task, tasks)
 
-    def _shuffle(self, job: JobSpec, map_output: list[KeyValue],
-                 stats: JobStats) -> dict[int, dict[Any, list[KeyValue]]]:
-        num_reducers = job.num_reducers or self.cluster.num_machines
-        partitions: dict[int, dict[Any, list[KeyValue]]] = {}
-        shuffle_bytes = 0
-        for key_value in map_output:
-            partition = job.partitioner(key_value.key, num_reducers)
-            shuffle_bytes += estimate_record_bytes(key_value)
-            partitions.setdefault(partition, {}).setdefault(key_value.key, []).append(key_value)
-        stats.shuffle_bytes = shuffle_bytes
-        stats.spilled_bytes = shuffle_bytes  # written once on the map side
+        combined: list[KeyValue] = []
+        spill: Spill | None = {} if build_spill else None
+        for result in results:
+            for output in result.outputs:
+                combined.extend(output.combined)
+                stats.combine.records_in += output.records_in
+                stats.combine.records_out += output.records_out
+                stats.combine.bytes_in += output.bytes_in
+                stats.combine.bytes_out += output.bytes_out
+                stats.combine.add_machine_work(output.machine, output.work)
+                # Combining happens on the mapper machine; fold it into map
+                # work so the cost model charges the same machine.
+                stats.map.add_machine_work(output.machine, output.work)
+            if spill is not None and result.spill is not None:
+                merge_spills(spill, result.spill)
+            counters.merge_dict(result.counters)
+        return combined, spill
+
+    def _finish_shuffle(self, job: JobSpec,
+                        spill: Spill) -> dict[int, dict[Any, list[KeyValue]]]:
         sort_by_secondary = (job.requires_secondary_keys
                              and self.cluster.profile.supports_secondary_keys)
         if sort_by_secondary:
-            for groups in partitions.values():
+            for groups in spill.values():
                 for key_values in groups.values():
                     key_values.sort(key=lambda kv: (kv.secondary is None, kv.secondary))
-        return partitions
+        return spill
 
     def _run_reduce_phase(self, job: JobSpec,
                           partitions: dict[int, dict[Any, list[KeyValue]]],
                           stats: JobStats, counters: Counters) -> list[Any]:
-        context = TaskContext(counters, job.side_data,
-                              self.cluster.num_machines, job.name)
-        reducer = job.reducer
-        assert reducer is not None
-        reducer.setup(context)
         overhead = self.cost_parameters.record_overhead_bytes
         machines = self.cluster.num_machines
+        budget = self.cluster.memory_per_machine if self.enforce_budgets else None
+        partition_items = [(partition, partitions[partition])
+                           for partition in sorted(partitions)]
+        tasks = [ReduceTask(job=job, partitions=partition_items[start:stop],
+                            num_machines=machines, overhead=overhead,
+                            memory_budget=budget)
+                 for start, stop in split_slices(len(partition_items),
+                                                 self.backend.num_workers)]
+        results = self.backend.run_tasks(execute_reduce_task, tasks)
+
         output_records: list[Any] = []
-        for partition in sorted(partitions):
-            machine = partition % machines
-            for key, key_values in partitions[partition].items():
-                values = [kv.value for kv in key_values]
-                bytes_in = sum(estimate_record_bytes(kv) for kv in key_values)
-                stats.reduce_groups += 1
-                stats.max_group_records = max(stats.max_group_records, len(values))
-                stats.max_group_bytes = max(stats.max_group_bytes, bytes_in)
-                if reducer.materializes_input:
-                    # Side data is loaded by the mappers of the jobs in this
-                    # library, so the reducer budget covers only the
-                    # materialised value list.
-                    stats.peak_task_memory = max(stats.peak_task_memory, bytes_in)
-                    self._check_memory(job.name,
-                                       f"reduce value list of key {key!r}",
-                                       bytes_in, stats)
-                bytes_out = 0
-                records_out = 0
-                for record in reducer.reduce(key, values, context):
-                    output_records.append(record)
-                    bytes_out += estimate_record_bytes(record)
-                    records_out += 1
-                work = bytes_in + bytes_out + overhead * len(values)
-                stats.reduce.records_in += len(values)
-                stats.reduce.records_out += records_out
-                stats.reduce.bytes_in += bytes_in
-                stats.reduce.bytes_out += bytes_out
-                stats.reduce.add_machine_work(machine, work)
-        cleanup_bytes = 0
-        cleanup_count = 0
-        for record in reducer.cleanup(context):
-            output_records.append(record)
-            cleanup_bytes += estimate_record_bytes(record)
-            cleanup_count += 1
-        if cleanup_count:
-            stats.reduce.records_out += cleanup_count
-            stats.reduce.bytes_out += cleanup_bytes
-            stats.reduce.add_machine_work(0, cleanup_bytes + overhead * cleanup_count)
+        for result in results:
+            output_records.extend(result.output_records)
+            stats.reduce.merge(result.phase)
+            stats.reduce_groups += result.reduce_groups
+            stats.max_group_records = max(stats.max_group_records,
+                                          result.max_group_records)
+            stats.max_group_bytes = max(stats.max_group_bytes,
+                                        result.max_group_bytes)
+            stats.peak_task_memory = max(stats.peak_task_memory,
+                                         result.peak_task_memory)
+            counters.merge_dict(result.counters)
         return output_records
 
     # -- budget and profile checks --------------------------------------------
@@ -301,16 +322,9 @@ class LocalJobRunner:
             return int(job.side_data_bytes)
         return estimate_record_bytes(job.side_data)
 
-    def _check_memory(self, job_name: str, what: str, required: int,
-                      stats: JobStats) -> None:
-        if not self.enforce_budgets:
-            return
-        budget = self.cluster.memory_per_machine
-        if required > budget:
-            raise MemoryBudgetExceeded(
-                f"job {job_name!r}: {what} needs {required} bytes but each "
-                f"machine only has {budget} bytes of memory",
-                required_bytes=required, budget_bytes=budget)
+    def _check_memory(self, job_name: str, what: str, required: int) -> None:
+        budget = self.cluster.memory_per_machine if self.enforce_budgets else None
+        check_memory_budget(job_name, what, required, budget)
 
     def _check_disk(self, job_name: str, stats: JobStats) -> None:
         if not self.enforce_budgets:

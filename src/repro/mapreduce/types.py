@@ -112,6 +112,22 @@ class PhaseStats:
             return 0.0
         return self.max_machine_work / average
 
+    def merge(self, other: "PhaseStats") -> None:
+        """Fold another phase partial into this one (sums and maxes).
+
+        All fields are integer-valued sums or maxima of per-record work, so
+        merging per-task partials reproduces the statistics of a single
+        serial pass exactly, regardless of how records were split into tasks.
+        """
+        self.records_in += other.records_in
+        self.records_out += other.records_out
+        self.bytes_in += other.bytes_in
+        self.bytes_out += other.bytes_out
+        self.work_units += other.work_units
+        self.max_unit_work = max(self.max_unit_work, other.max_unit_work)
+        for machine, work in other.machine_work.items():
+            self.machine_work[machine] = self.machine_work.get(machine, 0.0) + work
+
 
 @dataclass
 class JobStats:
@@ -175,7 +191,9 @@ class PipelineStats:
         for stats in self.jobs:
             if stats.job_name == name:
                 return stats
-        raise KeyError(f"no job named {name!r} in pipeline {self.name!r}")
+        available = ", ".join(repr(stats.job_name) for stats in self.jobs)
+        raise KeyError(f"no job named {name!r} in pipeline {self.name!r}; "
+                       f"available jobs: {available or '(none)'}")
 
     def counters(self) -> dict[str, int]:
         """Return all counters summed across jobs."""

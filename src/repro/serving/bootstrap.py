@@ -26,12 +26,14 @@ from repro.core.records import (
     assemble_multisets,
     resolve_record_type,
 )
+from repro.mapreduce.backends import ExecutionBackend, SerialBackend
+from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.dfs import Dataset
 from repro.serving.index import QueryMatch, sort_matches
 from repro.serving.service import ShardedSimilarityService
 from repro.similarity.base import NominalSimilarityMeasure
 from repro.similarity.registry import get_measure
-from repro.vsmart.driver import VSmartJoinResult
+from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig, VSmartJoinResult
 
 
 def multisets_from_input(
@@ -55,6 +57,13 @@ def multisets_from_input(
     return list(assemble_multisets(materialised).values())
 
 
+def _is_serial_backend(backend: str | ExecutionBackend) -> bool:
+    """Whether ``backend`` is the (default) serial backend in any spelling."""
+    if isinstance(backend, ExecutionBackend):
+        return isinstance(backend, SerialBackend)
+    return backend is None or str(backend).strip().lower() == "serial"
+
+
 def bootstrap_from_join(
         data: Iterable[Multiset] | Dataset | Sequence[InputTuple] | Mapping,
         join_result: VSmartJoinResult | None = None,
@@ -62,7 +71,11 @@ def bootstrap_from_join(
         threshold: float | None = None,
         num_shards: int = 1,
         cache_capacity: int | None = None,
-        stop_word_frequency: int | None = None) -> ShardedSimilarityService:
+        stop_word_frequency: int | None = None,
+        run_join: bool = False,
+        join_algorithm: str = "online_aggregation",
+        cluster: Cluster | None = None,
+        backend: str | ExecutionBackend = "serial") -> ShardedSimilarityService:
     """Build a serving fleet from batch data, optionally cache-warmed.
 
     With ``join_result`` given, the measure and threshold default to the
@@ -72,7 +85,35 @@ def bootstrap_from_join(
     large enough to hold every warmed entry (at least 1024); an explicit
     capacity too small to hold the warm-up is rejected rather than letting
     the LRU silently evict most of it.
+
+    With ``run_join=True`` the batch join is executed right here instead of
+    being supplied: the V-SMART-Join pipeline (``join_algorithm``, on
+    ``cluster`` or the default laptop cluster) computes the similar pairs at
+    ``threshold`` and the caches are warmed from them.  ``backend`` selects
+    the pipeline's execution backend (``"serial"``, ``"thread"``,
+    ``"process"`` or a backend instance), so a fleet can be warm-started on
+    all cores before serving traffic.
     """
+    # Materialise the input exactly once: `data` may be a one-shot iterator,
+    # and both the optional inline join and the index build consume it.
+    multisets = multisets_from_input(data)
+    if run_join:
+        if join_result is not None:
+            raise ServingError(
+                "run_join=True computes the join itself; "
+                "do not also pass join_result")
+        if threshold is None:
+            raise ServingError(
+                "run_join=True needs the join threshold; pass threshold=")
+        config = VSmartJoinConfig(algorithm=join_algorithm,
+                                  measure=measure or "ruzicka",
+                                  threshold=threshold)
+        with VSmartJoin(config, cluster=cluster, backend=backend) as join:
+            join_result = join.run(multisets)
+    elif not _is_serial_backend(backend):
+        raise ServingError(
+            "backend= only selects where the batch join runs; "
+            "pass run_join=True (or leave backend as 'serial')")
     if join_result is not None:
         join_measure = get_measure(join_result.config.measure)
         if measure is None:
@@ -106,7 +147,6 @@ def bootstrap_from_join(
         if measure is None:
             measure = "ruzicka"
 
-    multisets = multisets_from_input(data)
     # Each member warms one entry in every shard's cache, so each node needs
     # room for len(multisets) entries to retain the whole warm-up.
     if cache_capacity is None:

@@ -16,6 +16,7 @@ from typing import Iterable
 from repro.core.exceptions import JobConfigurationError
 from repro.core.multiset import Multiset
 from repro.core.records import SimilarPair
+from repro.mapreduce.backends import ExecutionBackend
 from repro.mapreduce.cluster import Cluster, laptop_cluster
 from repro.mapreduce.costmodel import DEFAULT_COST_PARAMETERS, CostParameters
 from repro.mapreduce.dfs import Dataset
@@ -88,16 +89,32 @@ class VCLJoinResult:
 
 
 class VCLJoin:
-    """Run the VCL baseline on a simulated cluster."""
+    """Run the VCL baseline on a simulated cluster.
+
+    ``backend`` selects the execution backend, exactly as for
+    :class:`~repro.vsmart.driver.VSmartJoin`; results are backend-invariant.
+    """
 
     def __init__(self, config: VCLConfig | None = None,
                  cluster: Cluster | None = None,
                  cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
-                 enforce_budgets: bool = True) -> None:
+                 enforce_budgets: bool = True,
+                 backend: str | ExecutionBackend = "serial") -> None:
         self.config = config or VCLConfig()
         self.cluster = cluster or laptop_cluster()
         self.runner = LocalJobRunner(self.cluster, cost_parameters,
-                                     enforce_budgets=enforce_budgets)
+                                     enforce_budgets=enforce_budgets,
+                                     backend=backend)
+
+    def close(self) -> None:
+        """Release the execution backend when the driver created it."""
+        self.runner.close()
+
+    def __enter__(self) -> "VCLJoin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def run(self, multisets: Iterable[Multiset] | Dataset) -> VCLJoinResult:
         """Execute the VCL pipeline and return the similar pairs."""
@@ -141,7 +158,9 @@ def vcl_join(multisets: Iterable[Multiset],
              measure: str | NominalSimilarityMeasure = "ruzicka",
              threshold: float = 0.5,
              cluster: Cluster | None = None,
+             backend: str | ExecutionBackend = "serial",
              **config_overrides) -> list[SimilarPair]:
     """One-call API for the VCL baseline, mirroring :func:`vsmart_join`."""
     config = VCLConfig(measure=measure, threshold=threshold, **config_overrides)
-    return VCLJoin(config, cluster=cluster).run(multisets).pairs
+    with VCLJoin(config, cluster=cluster, backend=backend) as join:
+        return join.run(multisets).pairs

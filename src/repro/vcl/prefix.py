@@ -36,28 +36,44 @@ from repro.similarity.base import NominalSimilarityMeasure, validate_threshold
 RankFunction = Callable[[Hashable], tuple]
 
 
-def frequency_rank_function(frequencies: dict) -> RankFunction:
+class FrequencyRank:
     """Rank elements by ascending global frequency (rare elements first).
 
     Ties are broken by a stable hash so the order is total and deterministic.
-    This is the ordering VCL uses when the frequency-sorted alphabet fits in
-    the mappers' memory.
+    A class (rather than a closure) so that mappers holding a rank function
+    stay picklable for the process execution backend.
     """
-    def rank(element: Hashable) -> tuple:
-        return (frequencies.get(element, 0), stable_hash(element, salt="vcl-rank"))
-    return rank
+
+    __slots__ = ("frequencies",)
+
+    def __init__(self, frequencies: dict) -> None:
+        self.frequencies = frequencies
+
+    def __call__(self, element: Hashable) -> tuple:
+        return (self.frequencies.get(element, 0), stable_hash(element, salt="vcl-rank"))
+
+
+class HashRank:
+    """Rank elements by their hash signature (no side data needed)."""
+
+    __slots__ = ()
+
+    def __call__(self, element: Hashable) -> tuple:
+        return (stable_hash(element, salt="vcl-rank"),)
+
+
+def frequency_rank_function(frequencies: dict) -> RankFunction:
+    """The ordering VCL uses when the frequency-sorted alphabet fits in memory."""
+    return FrequencyRank(frequencies)
 
 
 def hash_rank_function() -> RankFunction:
-    """Rank elements by their hash signature.
+    """The fallback ordering the paper applied on the realistic dataset.
 
-    This is the fallback ordering the paper applied on the realistic dataset
-    when the frequency list could not be loaded; it needs no side data but
-    loses the benefit of putting rare elements in the prefix.
+    Needs no side data but loses the benefit of putting rare elements in the
+    prefix.
     """
-    def rank(element: Hashable) -> tuple:
-        return (stable_hash(element, salt="vcl-rank"),)
-    return rank
+    return HashRank()
 
 
 def ordered_elements(multiset: Multiset, rank: RankFunction) -> list:

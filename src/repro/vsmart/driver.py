@@ -12,7 +12,7 @@ multisets, get back the similar pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.exceptions import JobConfigurationError
@@ -23,6 +23,7 @@ from repro.core.records import (
     explode_multisets,
     resolve_record_type,
 )
+from repro.mapreduce.backends import ExecutionBackend
 from repro.mapreduce.cluster import Cluster, laptop_cluster
 from repro.mapreduce.costmodel import DEFAULT_COST_PARAMETERS, CostParameters
 from repro.mapreduce.dfs import Dataset
@@ -139,16 +140,36 @@ class VSmartJoinResult:
 
 
 class VSmartJoin:
-    """Run the V-SMART-Join pipeline on a simulated cluster."""
+    """Run the V-SMART-Join pipeline on a simulated cluster.
+
+    ``backend`` selects the execution backend every job of the pipeline runs
+    on (``"serial"``, ``"thread"``, ``"process"`` or an
+    :class:`~repro.mapreduce.backends.ExecutionBackend` instance).  Results,
+    counters and simulated run times are identical across backends; only
+    real wall-clock time changes.  Call :meth:`close` (or use the driver as
+    a context manager) to release pooled workers.
+    """
 
     def __init__(self, config: VSmartJoinConfig | None = None,
                  cluster: Cluster | None = None,
                  cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
-                 enforce_budgets: bool = True) -> None:
+                 enforce_budgets: bool = True,
+                 backend: str | ExecutionBackend = "serial") -> None:
         self.config = config or VSmartJoinConfig()
         self.cluster = cluster or laptop_cluster()
         self.runner = LocalJobRunner(self.cluster, cost_parameters,
-                                     enforce_budgets=enforce_budgets)
+                                     enforce_budgets=enforce_budgets,
+                                     backend=backend)
+
+    def close(self) -> None:
+        """Release the execution backend when the driver created it."""
+        self.runner.close()
+
+    def __enter__(self) -> "VSmartJoin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- public API -----------------------------------------------------------
 
@@ -258,17 +279,21 @@ def vsmart_join(multisets: Iterable[Multiset],
                 cluster: Cluster | None = None,
                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
                 enforce_budgets: bool = True,
+                backend: str | ExecutionBackend = "serial",
                 **config_overrides) -> list[SimilarPair]:
     """One-call API: return all pairs of multisets with similarity >= threshold.
 
     This is the function the quickstart example uses.  For access to the
     simulated run times and per-job statistics, use :class:`VSmartJoin`;
-    ``cost_parameters`` and ``enforce_budgets`` are forwarded to it so the
-    cost-model calibration and budget enforcement are reachable from the
-    one-call API too.
+    ``cost_parameters``, ``enforce_budgets`` and ``backend`` are forwarded
+    to it so the cost-model calibration, budget enforcement and the parallel
+    execution backends are reachable from the one-call API too.  Backends
+    created here from a name are closed before returning; backend instances
+    are left open for reuse.
     """
     config = VSmartJoinConfig(algorithm=algorithm, measure=measure,
                               threshold=threshold, **config_overrides)
     join = VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters,
-                      enforce_budgets=enforce_budgets)
-    return join.run(multisets).pairs
+                      enforce_budgets=enforce_budgets, backend=backend)
+    with join:
+        return join.run(multisets).pairs

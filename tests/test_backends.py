@@ -1,0 +1,238 @@
+"""Tests for the pluggable execution backends.
+
+The contract under test: backends change *where* mapper/combiner/reducer
+work runs, never *what* it computes — join output, counters and the full
+per-job statistics must be identical across the serial, thread and process
+backends for every registered measure and joining algorithm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import JobConfigurationError, MemoryBudgetExceeded
+from repro.core.multiset import Multiset
+from repro.mapreduce import (
+    Dataset,
+    JobSpec,
+    LocalJobRunner,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+)
+from repro.mapreduce.backends import default_worker_count
+from repro.mapreduce.cluster import laptop_cluster
+from repro.similarity.registry import supported_measures
+from repro.vcl.driver import vcl_join
+from repro.vsmart.driver import (
+    JOINING_ALGORITHMS,
+    VSmartJoin,
+    VSmartJoinConfig,
+)
+from tests.test_mapreduce_runner import (
+    MaterialisingReducer,
+    WordCountMapper,
+    WordCountReducer,
+)
+
+
+@pytest.fixture(scope="module")
+def thread_backend():
+    with ThreadBackend(num_workers=4) as backend:
+        yield backend
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    with ProcessBackend(num_workers=2) as backend:
+        yield backend
+
+
+def small_corpus(count: int = 12, stride: int = 5) -> list[Multiset]:
+    """A deterministic corpus with overlapping element sets."""
+    return [
+        Multiset(
+            f"m{index}",
+            {f"e{(index + j) % stride}": (index + j) % 3 + 1 for j in range(index % 4 + 2)},
+        )
+        for index in range(count)
+    ]
+
+
+def run_join(backend, corpus, algorithm="online_aggregation", measure="ruzicka",
+             threshold=0.3):
+    config = VSmartJoinConfig(
+        algorithm=algorithm,
+        measure=measure,
+        threshold=threshold,
+        sharding_threshold=3,
+    )
+    join = VSmartJoin(config, cluster=laptop_cluster(), backend=backend)
+    return join.run(corpus)
+
+
+class TestBackendFactory:
+    def test_names_resolve(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_backend("Process"), ProcessBackend)
+        assert isinstance(get_backend(" SERIAL "), SerialBackend)
+
+    def test_none_resolves_to_serial(self):
+        assert isinstance(get_backend(None), SerialBackend)
+
+    def test_instances_pass_through(self, thread_backend):
+        assert get_backend(thread_backend) is thread_backend
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(JobConfigurationError, match="process, serial, thread"):
+            get_backend("gpu")
+
+    def test_available_backends(self):
+        assert available_backends() == ["process", "serial", "thread"]
+
+    def test_serial_backend_has_one_worker(self):
+        assert SerialBackend(num_workers=8).num_workers == 1
+
+    def test_worker_count_defaults_to_cpus(self):
+        assert ThreadBackend().num_workers == default_worker_count()
+        assert ProcessBackend(num_workers=3).num_workers == 3
+
+
+class TestRunTasks:
+    def test_results_preserve_task_order(self, thread_backend, process_backend):
+        tasks = list(range(20))
+        expected = [task * task for task in tasks]
+        for backend in (SerialBackend(), thread_backend, process_backend):
+            assert backend.run_tasks(_square, tasks) == expected
+
+    def test_empty_task_list(self, thread_backend, process_backend):
+        for backend in (SerialBackend(), thread_backend, process_backend):
+            assert backend.run_tasks(_square, []) == []
+
+    def test_pools_are_reusable_after_close(self):
+        backend = ThreadBackend(num_workers=2)
+        assert backend.run_tasks(_square, [2]) == [4]
+        backend.close()
+        assert backend.run_tasks(_square, [3]) == [9]
+        backend.close()
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+class TestWordCountParity:
+    def run_wordcount(self, backend):
+        runner = LocalJobRunner(laptop_cluster(), backend=backend)
+        documents = [f"w{i % 7} w{i % 3} w{i % 5}" for i in range(40)]
+        job = JobSpec("wordcount", WordCountMapper(), WordCountReducer())
+        return runner.run(job, Dataset.from_records(documents))
+
+    def test_output_and_stats_identical(self, thread_backend, process_backend):
+        base = self.run_wordcount(SerialBackend())
+        for backend in (thread_backend, process_backend):
+            result = self.run_wordcount(backend)
+            assert list(result.output.records) == list(base.output.records)
+            assert dataclasses.asdict(result.stats) == dataclasses.asdict(base.stats)
+
+
+class TestJoinParity:
+    """Serial, thread and process backends agree on every join."""
+
+    @pytest.mark.parametrize("algorithm", JOINING_ALGORITHMS)
+    def test_algorithms_agree_across_backends(self, algorithm, thread_backend,
+                                              process_backend):
+        corpus = small_corpus()
+        base = run_join(SerialBackend(), corpus, algorithm=algorithm)
+        for backend in (thread_backend, process_backend):
+            result = run_join(backend, corpus, algorithm=algorithm)
+            assert result.pairs == base.pairs, backend.name
+            assert result.counters() == base.counters(), backend.name
+            for mine, theirs in zip(base.pipeline.job_stats,
+                                    result.pipeline.job_stats, strict=True):
+                assert dataclasses.asdict(mine) == dataclasses.asdict(theirs), \
+                    (backend.name, mine.job_name)
+
+    @pytest.mark.parametrize("measure", supported_measures())
+    def test_measures_agree_across_backends(self, measure, thread_backend,
+                                            process_backend):
+        corpus = small_corpus(count=10)
+        base = run_join(SerialBackend(), corpus, measure=measure)
+        for backend in (thread_backend, process_backend):
+            result = run_join(backend, corpus, measure=measure)
+            assert result.pairs == base.pairs, (backend.name, measure)
+            assert result.counters() == base.counters(), (backend.name, measure)
+
+    def test_simulated_seconds_are_backend_invariant(self, process_backend):
+        corpus = small_corpus()
+        base = run_join(SerialBackend(), corpus)
+        result = run_join(process_backend, corpus)
+        assert result.simulated_seconds == base.simulated_seconds
+
+    @pytest.mark.parametrize("element_order", ["frequency", "hash"])
+    def test_vcl_agrees_across_backends(self, element_order, thread_backend,
+                                        process_backend):
+        # The VCL kernel mapper carries a rank function as state; this is the
+        # pickling-sensitive path the vsmart pipelines never exercise.
+        corpus = small_corpus()
+        base = vcl_join(corpus, threshold=0.3, element_order=element_order)
+        for backend in (thread_backend, process_backend):
+            pairs = vcl_join(corpus, threshold=0.3, element_order=element_order,
+                             backend=backend)
+            assert pairs == base, backend.name
+
+
+class TestErrorPropagation:
+    def test_memory_budget_error_crosses_process_boundary(self, process_backend):
+        cluster = laptop_cluster().with_memory(400)
+        runner = LocalJobRunner(cluster, backend=process_backend)
+        documents = [" ".join(["hot"] * 40) for _ in range(20)]
+        job = JobSpec("materialise", WordCountMapper(), MaterialisingReducer())
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            runner.run(job, Dataset.from_records(documents))
+        assert excinfo.value.required_bytes > excinfo.value.budget_bytes > 0
+
+
+@st.composite
+def corpora(draw):
+    """Small random corpora of multisets over a tiny shared alphabet."""
+    count = draw(st.integers(min_value=2, max_value=8))
+    members = []
+    for index in range(count):
+        contents = draw(
+            st.dictionaries(
+                st.sampled_from([f"e{i}" for i in range(6)]),
+                st.integers(min_value=1, max_value=4),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        members.append(Multiset(f"m{index}", contents))
+    return members
+
+
+class TestPropertyParity:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(corpus=corpora(),
+           algorithm=st.sampled_from(JOINING_ALGORITHMS),
+           threshold=st.sampled_from([0.2, 0.5, 0.8]))
+    def test_random_corpora_agree(self, corpus, algorithm, threshold,
+                                  thread_backend, process_backend):
+        base = run_join(SerialBackend(), corpus, algorithm=algorithm,
+                        threshold=threshold)
+        for backend in (thread_backend, process_backend):
+            result = run_join(backend, corpus, algorithm=algorithm,
+                              threshold=threshold)
+            assert result.pairs == base.pairs, backend.name
+            assert result.counters() == base.counters(), backend.name

@@ -11,7 +11,7 @@ from repro.core.exceptions import (
     MemoryBudgetExceeded,
     UnsupportedFeatureError,
 )
-from repro.mapreduce.cluster import Cluster, laptop_cluster
+from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.costmodel import CostParameters
 from repro.mapreduce.dfs import Dataset
 from repro.mapreduce.job import (
@@ -299,6 +299,17 @@ class TestPipelineResult:
     def test_stats_for_unknown_job_raises(self):
         with pytest.raises(KeyError, match="no job named 'third'"):
             self._pipeline().stats_for("third")
+
+    def test_stats_for_unknown_job_lists_available_jobs(self):
+        with pytest.raises(KeyError, match="available jobs: 'first', 'second'"):
+            self._pipeline().stats_for("third")
+
+    def test_stats_for_empty_pipeline_message(self):
+        from repro.mapreduce.runner import PipelineResult
+
+        pipeline = PipelineResult(name="empty", output=Dataset.from_records([]))
+        with pytest.raises(KeyError, match=r"available jobs: \(none\)"):
+            pipeline.stats_for("anything")
 
     def test_counters_sum_across_jobs(self):
         merged = self._pipeline().counters()

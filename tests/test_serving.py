@@ -558,6 +558,38 @@ class TestBootstrap:
         with pytest.raises(ServingError):
             bootstrap_from_join(small_multisets, join)
 
+    def test_run_join_warms_like_explicit_join(self, small_multisets, test_cluster):
+        threshold = 0.4
+        join = VSmartJoin(VSmartJoinConfig(threshold=threshold),
+                          cluster=test_cluster).run(small_multisets)
+        explicit = bootstrap_from_join(small_multisets, join, num_shards=2)
+        inline = bootstrap_from_join(small_multisets, threshold=threshold,
+                                     num_shards=2, run_join=True,
+                                     cluster=test_cluster, backend="thread")
+        for member in small_multisets:
+            assert [(m.multiset_id, m.similarity)
+                    for m in inline.query_threshold(member, threshold)] \
+                == [(m.multiset_id, m.similarity)
+                    for m in explicit.query_threshold(member, threshold)]
+        # The inline join warmed the caches just like the explicit one.
+        assert inline.stats()["cache/hits"] == explicit.stats()["cache/hits"]
+
+    def test_run_join_accepts_one_shot_iterators(self, small_multisets, test_cluster):
+        # The inline join and the index build must not consume `data` twice.
+        service = bootstrap_from_join(iter(small_multisets), threshold=0.4,
+                                      run_join=True, cluster=test_cluster)
+        assert len(service) == len(small_multisets)
+
+    def test_run_join_guards(self, small_multisets, test_cluster):
+        join = VSmartJoin(VSmartJoinConfig(threshold=0.4),
+                          cluster=test_cluster).run(small_multisets)
+        with pytest.raises(ServingError, match="do not also pass join_result"):
+            bootstrap_from_join(small_multisets, join, run_join=True)
+        with pytest.raises(ServingError, match="threshold"):
+            bootstrap_from_join(small_multisets, run_join=True)
+        with pytest.raises(ServingError, match="run_join=True"):
+            bootstrap_from_join(small_multisets, backend="process")
+
     def test_pruning_index_cannot_be_warmed(self, small_multisets, test_cluster):
         # Warmed exact answers would silently flip to pruned ones on the
         # first cache invalidation, so the combination is rejected.

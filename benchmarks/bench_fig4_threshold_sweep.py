@@ -20,10 +20,14 @@ ALGORITHMS = ("online_aggregation", "lookup", "sharding", "vcl")
 def test_fig4_threshold_sweep(benchmark, small_dataset, cluster_500, cost_parameters,
                               bench_record):
     def run():
+        # intern=False / prune_candidates=False: the figure reproduces the
+        # paper's cross-algorithm cost orderings, which are calibrated to
+        # raw-identifier records and the unpruned candidate stream.
         return threshold_sweep(ALGORITHMS, small_dataset.multisets, THRESHOLD_GRID,
                                cluster=cluster_500,
                                sharding_threshold=DEFAULT_SHARDING_C,
-                               cost_parameters=cost_parameters, keep_pairs=False)
+                               cost_parameters=cost_parameters, intern=False,
+                               prune_candidates=False, keep_pairs=False)
 
     sweep = run_once(benchmark, run)
     bench_record["simulated_seconds"] = {

@@ -38,7 +38,16 @@ Quickstart::
     pairs = vsmart_join(ips, measure="ruzicka", threshold=0.4)
 """
 
-from repro.core import InputTuple, Multiset, SimilarPair, SparseVector
+from repro.core import (
+    ElementDictionary,
+    InputTuple,
+    InternedMultiset,
+    Multiset,
+    PairCodec,
+    SimilarPair,
+    SparseVector,
+    intern_corpus,
+)
 from repro.mapreduce import (
     Cluster,
     ExecutionBackend,
@@ -64,9 +73,12 @@ __version__ = "1.2.0"
 
 __all__ = [
     "Cluster",
+    "ElementDictionary",
     "ExecutionBackend",
     "InputTuple",
+    "InternedMultiset",
     "Multiset",
+    "PairCodec",
     "ProcessBackend",
     "SerialBackend",
     "ServingNode",
@@ -86,6 +98,7 @@ __all__ = [
     "compute_similarity",
     "get_backend",
     "get_measure",
+    "intern_corpus",
     "laptop_cluster",
     "paper_cluster",
     "vcl_join",

@@ -74,6 +74,8 @@ def run_algorithm(algorithm: str,
                   vcl_super_element_groups: int | None = None,
                   cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
                   backend: str | ExecutionBackend = "serial",
+                  intern: bool = True,
+                  prune_candidates: bool = True,
                   keep_pairs: bool = True) -> AlgorithmOutcome:
     """Run one algorithm and capture its outcome, including failure modes.
 
@@ -90,7 +92,8 @@ def run_algorithm(algorithm: str,
         if algorithm == "vcl":
             config = VCLConfig(measure=measure, threshold=threshold,
                                element_order=vcl_element_order,
-                               super_element_groups=vcl_super_element_groups)
+                               super_element_groups=vcl_super_element_groups,
+                               intern=intern)
             with VCLJoin(config, cluster=cluster, cost_parameters=cost_parameters,
                          backend=backend) as join:
                 result = join.run(multisets)
@@ -106,7 +109,9 @@ def run_algorithm(algorithm: str,
                                   sharding_threshold=sharding_threshold,
                                   stop_word_frequency=stop_word_frequency,
                                   chunk_size=chunk_size,
-                                  use_combiners=use_combiners)
+                                  use_combiners=use_combiners,
+                                  intern=intern,
+                                  prune_candidates=prune_candidates)
         with VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters,
                         backend=backend) as join:
             result = join.run(multisets)
@@ -182,9 +187,13 @@ def sharding_parameter_sweep(multisets: Sequence[Multiset],
     """
     results: dict[int, dict[str, float]] = {}
     for parameter in parameter_values:
+        # intern=False / prune_candidates=False keep the C sweep on the
+        # paper's raw-identifier cost model with the unpruned candidate
+        # stream, like the other figure experiments.
         config = VSmartJoinConfig(algorithm="sharding", measure=measure,
                                   threshold=threshold,
-                                  sharding_threshold=int(parameter))
+                                  sharding_threshold=int(parameter),
+                                  intern=False, prune_candidates=False)
         join = VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters)
         outcome = join.run(multisets)
         stats = {s.job_name: s.simulated_seconds for s in outcome.pipeline.job_stats}

@@ -11,6 +11,10 @@ The paper names three record shapes explicitly:
 
 These are represented as small frozen dataclasses so they hash, compare and
 sort deterministically, which the shuffle stage of the simulator relies on.
+They carry ``slots=True`` because millions of them are alive at once in a
+big join — slots cut the per-record memory (no ``__dict__``) and speed up
+field access; the default slot-aware ``__getstate__`` keeps them picklable
+across the :class:`~repro.mapreduce.backends.ProcessBackend` boundary.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from repro.core.multiset import Element, Multiset, MultisetId
 UniPartials = Tuple[float, ...]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class InputTuple:
     """A raw input record ``<Mi, a_k, f_{i,k}>``.
 
@@ -43,7 +47,7 @@ class InputTuple:
                 f"InputTuple multiplicity must be positive, got {self.multiplicity}")
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class JoinedTuple:
     """A joined record ``<Mi, Uni(Mi), a_k, f_{i,k}>``.
 
@@ -58,7 +62,7 @@ class JoinedTuple:
     multiplicity: float
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PostingEntry:
     """One inverted-index posting ``<Mi, Uni(Mi), f_{i,k}>`` for an element.
 
@@ -71,7 +75,7 @@ class PostingEntry:
     multiplicity: float
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PairKey:
     """The candidate-pair key ``<Mi, Mj, Uni(Mi), Uni(Mj)>``.
 
@@ -95,7 +99,7 @@ class PairKey:
         return cls(id_b, id_a, uni_b, uni_a)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PairContribution:
     """A per-shared-element contribution ``<f_{i,k}, f_{j,k}>`` for a pair."""
 
@@ -103,7 +107,7 @@ class PairContribution:
     multiplicity_second: float
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class SimilarPair:
     """A final output record ``<Mi, Mj, Sim(Mi, Mj)>``."""
 

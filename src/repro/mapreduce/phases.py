@@ -46,8 +46,20 @@ def check_memory_budget(job_name: str, what: str, required: int,
 
 
 def spill_record(spill: Spill, partition: int, key_value: KeyValue) -> None:
-    """Append one record to a spill dictionary."""
-    spill.setdefault(partition, {}).setdefault(key_value.key, []).append(key_value)
+    """Append one record to a spill dictionary.
+
+    This runs once per map/combine emission; the explicit ``get`` probes
+    avoid ``setdefault``'s unconditional empty-container allocations on the
+    (overwhelmingly common) hit path.
+    """
+    groups = spill.get(partition)
+    if groups is None:
+        groups = spill[partition] = {}
+    records = groups.get(key_value.key)
+    if records is None:
+        groups[key_value.key] = [key_value]
+    else:
+        records.append(key_value)
 
 
 def merge_spills(target: Spill, source: Spill) -> None:

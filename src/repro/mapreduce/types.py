@@ -56,14 +56,16 @@ def estimate_record_bytes(value: Any) -> int:
     return _OBJECT_OVERHEAD
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeyValue:
     """An intermediate ``<key, value>`` record with an optional secondary key.
 
     Secondary keys implement the within-group sort order that the Google
     MapReduce supports and Hadoop does not (paper section 2); the shuffle
     stage sorts each reduce value list by the secondary key when the cluster
-    profile allows it.
+    profile allows it.  One ``KeyValue`` is allocated per emission, so the
+    class is slotted: the saved ``__dict__`` per record is the single
+    biggest memory lever in a large shuffle.
     """
 
     key: Hashable

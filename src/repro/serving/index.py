@@ -26,6 +26,13 @@ the stored ``Uni`` tuples.  Two pruning levers keep tail latencies bounded:
   mentions them — skipping their remaining conjunctive accumulation — and
   top-k evaluation terminates early once no remaining candidate's bound can
   beat the current k-th best score (the classic threshold-algorithm stop).
+
+Two representational optimisations keep the per-posting cost down without
+changing any answer: the inverted index is keyed by *interned* dense
+element ids (``intern=True``, see :mod:`repro.core.interning`), and for
+measures that declare a scalar conjunctive kernel
+(:mod:`repro.similarity.kernels`) the per-candidate ``Conj`` accumulates as
+a single float instead of a partial tuple per shared element.
 """
 
 from __future__ import annotations
@@ -35,13 +42,21 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.core.exceptions import ServingError
+from repro.core.interning import LocalInterner
 from repro.core.multiset import Element, Multiset, MultisetId
 from repro.similarity.base import (
     NominalSimilarityMeasure,
     Partials,
     validate_threshold,
 )
+from repro.similarity.kernels import scalar_conj_functions
+from repro.similarity.partials import fold_uni_multiplicities
 from repro.similarity.registry import get_measure
+
+
+#: Postings-key sentinel for query elements the interner has never seen;
+#: distinct from every real key (including a literal ``None`` element).
+_NEVER_INDEXED = object()
 
 
 @dataclass(frozen=True)
@@ -82,21 +97,47 @@ class SimilarityIndex:
         Optional ``q``: posting lists of more than ``q`` multisets are
         skipped at query time.  This is an *approximation* knob — with it
         unset (the default) every query is exact.
+    intern:
+        Key the inverted index by dense interned element ids instead of the
+        raw elements (default on).  Long string elements — cookies in the
+        paper's workload — then hash as single machine words, and query
+        elements the index has never seen skip their posting lookup
+        entirely.  Purely representational: answers are identical either
+        way.
     """
 
     def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
-                 stop_word_frequency: int | None = None) -> None:
+                 stop_word_frequency: int | None = None,
+                 intern: bool = True) -> None:
         self.measure = get_measure(measure)
         self.measure.check_supported()
         if stop_word_frequency is not None and stop_word_frequency < 1:
             raise ServingError(
                 f"stop_word_frequency must be >= 1 when set, got {stop_word_frequency}")
         self.stop_word_frequency = stop_word_frequency
+        self._interner: LocalInterner | None = LocalInterner() if intern else None
+        self._scalar_conj = scalar_conj_functions(self.measure)
         self._multisets: dict[MultisetId, Multiset] = {}
         self._uni: dict[MultisetId, Partials] = {}
-        self._postings: dict[Element, dict[MultisetId, float]] = {}
+        #: element key (dense id when interning, raw element otherwise)
+        #: -> {multiset id -> effective multiplicity}
+        self._postings: dict[object, dict[MultisetId, float]] = {}
         self._version = 0
         self._counters: dict[str, int] = {}
+
+    def _element_key(self, element: Element) -> object:
+        """The postings key of ``element``.
+
+        Returns a sentinel no postings entry can ever equal when the
+        interner has never seen the element, so callers can probe
+        ``self._postings`` unconditionally — a literal ``None`` *element*
+        (legal: multiset elements are any hashable) stays distinguishable
+        from "provably unindexed".
+        """
+        if self._interner is None:
+            return element
+        key = self._interner.get(element)
+        return _NEVER_INDEXED if key is None else key
 
     # -- container protocol ----------------------------------------------------
 
@@ -155,15 +196,18 @@ class SimilarityIndex:
                     "pass replace=True to overwrite")
             self.remove(multiset.id)
         measure = self.measure
-        uni = measure.uni_zero()
+        interner = self._interner
         for element, multiplicity in multiset.items():
             effective = measure.effective_multiplicity(multiplicity)
             if effective <= 0:
                 continue
-            uni = measure.uni_merge(uni, measure.uni_from_multiplicity(effective))
-            self._postings.setdefault(element, {})[multiset.id] = effective
+            key = element if interner is None else interner.intern(element)
+            self._postings.setdefault(key, {})[multiset.id] = effective
         self._multisets[multiset.id] = multiset
-        self._uni[multiset.id] = uni
+        # One scalar pass instead of a uni_from_multiplicity/uni_merge tuple
+        # pair per element; identical tuples for every measure.
+        self._uni[multiset.id] = fold_uni_multiplicities(
+            measure, multiset.values())
         self._version += 1
 
     def remove(self, multiset_id: MultisetId) -> None:
@@ -173,11 +217,12 @@ class SimilarityIndex:
             raise ServingError(f"multiset {multiset_id!r} is not indexed")
         del self._uni[multiset_id]
         for element in multiset:
-            postings = self._postings.get(element)
+            key = self._element_key(element)
+            postings = self._postings.get(key)
             if postings is not None:
                 postings.pop(multiset_id, None)
                 if not postings:
-                    del self._postings[element]
+                    del self._postings[key]
         self._version += 1
 
     def bulk_load(self, multisets: Iterable[Multiset],
@@ -278,13 +323,49 @@ class SimilarityIndex:
         measure = self.measure
         frequency_limit = self.stop_word_frequency
         uni_q = measure.unilateral(query)
+        scalar = self._scalar_conj
+        if scalar is not None:
+            seed, accumulate = scalar
+            totals: dict[MultisetId, float] = {}
+            pruned: set[MultisetId] = set()
+            uni_of = self._uni
+            for element, multiplicity in query.items():
+                effective_q = measure.effective_multiplicity(multiplicity)
+                if effective_q <= 0:
+                    continue
+                postings = self._postings.get(self._element_key(element))
+                if not postings:
+                    continue
+                if frequency_limit is not None and len(postings) > frequency_limit:
+                    self._increment("serving/stop_words_skipped")
+                    continue
+                self._increment("serving/postings_scanned", len(postings))
+                for multiset_id, effective_m in postings.items():
+                    previous = totals.get(multiset_id)
+                    if previous is None:
+                        if multiset_id in pruned:
+                            continue
+                        if (prune_below is not None
+                                and measure.similarity_upper_bound(
+                                    uni_q, uni_of[multiset_id]) < prune_below):
+                            pruned.add(multiset_id)
+                            self._increment("serving/candidates_pruned")
+                            continue
+                        totals[multiset_id] = seed(effective_q, effective_m)
+                    else:
+                        totals[multiset_id] = accumulate(previous, effective_q,
+                                                         effective_m)
+            self._increment("serving/candidates_examined",
+                            len(totals) + len(pruned))
+            return uni_q, {multiset_id: (total,)
+                           for multiset_id, total in totals.items()}
         conj_by_id: dict[MultisetId, Partials] = {}
-        pruned: set[MultisetId] = set()
+        pruned = set()
         for element, multiplicity in query.items():
             effective_q = measure.effective_multiplicity(multiplicity)
             if effective_q <= 0:
                 continue
-            postings = self._postings.get(element)
+            postings = self._postings.get(self._element_key(element))
             if not postings:
                 continue
             if frequency_limit is not None and len(postings) > frequency_limit:

@@ -42,9 +42,11 @@ class ServingNode:
     def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
                  *, cache_capacity: int = 1024,
                  stop_word_frequency: int | None = None,
+                 intern: bool = True,
                  name: str = "node0") -> None:
         self.index = SimilarityIndex(measure,
-                                     stop_word_frequency=stop_word_frequency)
+                                     stop_word_frequency=stop_word_frequency,
+                                     intern=intern)
         self.cache = LRUResultCache(cache_capacity)
         self.name = name
 
@@ -146,6 +148,21 @@ class ServingNode:
         self.cache.put(self._threshold_key(query, threshold), tuple(matches))
 
     # -- observability ---------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Lookups served from the result cache since the node was created."""
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Lookups that had to scan the index."""
+        return self.cache.misses
+
+    @property
+    def cache_evictions(self) -> int:
+        """Entries evicted by LRU capacity pressure (invalidations excluded)."""
+        return self.cache.evictions
 
     def stats(self) -> dict[str, float]:
         """Index counters merged with cache statistics."""

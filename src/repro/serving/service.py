@@ -41,12 +41,14 @@ class ShardedSimilarityService:
 
     def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
                  num_shards: int = 4, *, cache_capacity: int = 1024,
-                 stop_word_frequency: int | None = None) -> None:
+                 stop_word_frequency: int | None = None,
+                 intern: bool = True) -> None:
         if num_shards < 1:
             raise ServingError(f"num_shards must be >= 1, got {num_shards}")
         self.nodes = [
             ServingNode(measure, cache_capacity=cache_capacity,
                         stop_word_frequency=stop_word_frequency,
+                        intern=intern,
                         name=f"node{shard}")
             for shard in range(num_shards)
         ]
@@ -157,6 +159,15 @@ class ShardedSimilarityService:
         merged["cache/hit_rate"] = (merged.get("cache/hits", 0) / lookups
                                     if lookups else 0.0)
         return merged
+
+    def per_node_stats(self) -> dict[str, dict[str, float]]:
+        """Per-node statistics keyed by node name.
+
+        The fleet totals of :meth:`stats` hide which shard is hot; this
+        breakdown exposes every node's own counters — including its cache
+        hit/miss/eviction counts — for dashboards that chart load balance.
+        """
+        return {node.name: node.stats() for node in self.nodes}
 
     def __repr__(self) -> str:
         return (f"ShardedSimilarityService(measure={self.measure.name!r}, "

@@ -25,7 +25,15 @@ from repro.similarity.measures import (
     VectorCosineSimilarity,
     WeightedJaccardSimilarity,
 )
+from repro.similarity.kernels import (
+    conj_kernel_kind,
+    interned_conjunctive,
+    interned_similarity,
+    interned_unilateral,
+    uni_kernel_kind,
+)
 from repro.similarity.partials import (
+    fold_uni_multiplicities,
     merge_uni,
     uni_contribution,
 )
@@ -56,9 +64,15 @@ __all__ = [
     "available_measures",
     "compute_partials",
     "compute_similarity",
+    "conj_kernel_kind",
+    "fold_uni_multiplicities",
     "get_measure",
+    "interned_conjunctive",
+    "interned_similarity",
+    "interned_unilateral",
     "iter_measures",
     "merge_uni",
+    "uni_kernel_kind",
     "pair_dictionary",
     "register_measure",
     "supported_measures",

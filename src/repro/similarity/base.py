@@ -91,6 +91,19 @@ class NominalSimilarityMeasure(ABC):
     #: the MapReduce drivers.
     requires_disjunctive: bool = False
 
+    #: Scalar kernel the conjunctive partial reduces to, if any (see
+    #: :mod:`repro.similarity.kernels`): ``"sum_min"`` for sum-of-minima
+    #: intersections, ``"sum_product"`` for dot products, ``"generic"``
+    #: (the safe default) for everything else.  Declaring a kind lets the
+    #: array kernels and the serving index accumulate ``Conj`` as a single
+    #: float instead of per-element partial tuples; the declaration must
+    #: match :meth:`conj_from_pair` exactly.
+    conj_kernel: str = "generic"
+
+    #: Scalar kernel the unilateral partial reduces to, if any: ``"sum"``
+    #: (of effective multiplicities), ``"sum_squares"`` or ``"generic"``.
+    uni_kernel: str = "generic"
+
     # -- per-element hooks ---------------------------------------------------
 
     @abstractmethod

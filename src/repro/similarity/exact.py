@@ -12,9 +12,11 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterable, Mapping
 
+from repro.core.interning import intern_corpus
 from repro.core.multiset import Multiset, MultisetId
 from repro.core.records import SimilarPair
 from repro.similarity.base import NominalSimilarityMeasure, validate_threshold
+from repro.similarity.kernels import interned_similarity, interned_unilateral
 from repro.similarity.registry import get_measure
 
 
@@ -42,13 +44,21 @@ def compute_partials(measure: str | NominalSimilarityMeasure,
 
 def all_pairs_exact(multisets: Iterable[Multiset] | Mapping[MultisetId, Multiset],
                     measure: str | NominalSimilarityMeasure,
-                    threshold: float) -> list[SimilarPair]:
+                    threshold: float,
+                    intern: bool = False) -> list[SimilarPair]:
     """Brute-force all-pair similarity join over in-memory multisets.
 
     Every unordered pair is evaluated exactly; pairs whose similarity is at
     least ``threshold`` are returned in canonical order.  This is the ground
     truth used to validate both the V-SMART-Join pipelines and the VCL
     baseline (the paper notes all algorithms produce identical pair counts).
+
+    ``intern=True`` evaluates the same quadratic sweep on the interned
+    array kernels (:mod:`repro.similarity.kernels`) instead of the
+    per-element dict probes.  The results are identical; the default stays
+    ``False`` so the function remains an *independent* reference for tests
+    that validate the kernels themselves.  The kernel microbenchmark times
+    the two modes against each other.
     """
     resolved = get_measure(measure)
     limit = validate_threshold(threshold)
@@ -57,6 +67,23 @@ def all_pairs_exact(multisets: Iterable[Multiset] | Mapping[MultisetId, Multiset
     else:
         entities = list(multisets)
     results: list[SimilarPair] = []
+    if intern and resolved.requires_disjunctive:
+        # Disjunctive measures override .similarity() wholesale (their F()
+        # is not computable from Uni/Conj), so the kernel path cannot apply.
+        intern = False
+    if intern:
+        _dictionary, interned = intern_corpus(entities)
+        unis = [interned_unilateral(resolved, entity) for entity in interned]
+        for index_i, index_j in combinations(range(len(interned)), 2):
+            similarity = interned_similarity(
+                resolved, interned[index_i], interned[index_j],
+                unis[index_i], unis[index_j])
+            if similarity >= limit:
+                results.append(SimilarPair.make(interned[index_i].id,
+                                                interned[index_j].id,
+                                                similarity))
+        results.sort()
+        return results
     for entity_i, entity_j in combinations(entities, 2):
         similarity = resolved.similarity(entity_i, entity_j)
         if similarity >= limit:

@@ -42,8 +42,13 @@ class _MinIntersectionMeasure(NominalSimilarityMeasure):
 
     For these measures ``|Mi ∩ Mj| = sum_k min(f_ik, f_jk)`` never exceeds
     the smaller cardinality, giving the serving index a similarity upper
-    bound from the ``Uni`` tuples alone.
+    bound from the ``Uni`` tuples alone.  They also share the scalar
+    kernels: ``Uni`` is the (effective) cardinality and ``Conj`` a sum of
+    minima, so the array kernels can run them as plain merge scans.
     """
+
+    conj_kernel = "sum_min"
+    uni_kernel = "sum"
 
     def conj_upper_bound(self, uni_i: Partials,
                          uni_j: Partials) -> Partials | None:
@@ -208,6 +213,8 @@ class VectorCosineSimilarity(NominalSimilarityMeasure):
 
     name = "vector_cosine"
     uses_underlying_set = False
+    conj_kernel = "sum_product"
+    uni_kernel = "sum_squares"
 
     def uni_from_multiplicity(self, multiplicity: float) -> Partials:
         return (multiplicity * multiplicity,)
@@ -250,6 +257,8 @@ class OverlapSimilarity(NominalSimilarityMeasure):
 
     name = "overlap"
     uses_underlying_set = False
+    conj_kernel = "sum_min"
+    uni_kernel = "sum"
 
     def uni_from_multiplicity(self, multiplicity: float) -> Partials:
         return (multiplicity,)
@@ -294,6 +303,7 @@ class DirectRuzickaSimilarity(NominalSimilarityMeasure):
     name = "direct_ruzicka"
     uses_underlying_set = False
     requires_disjunctive = True
+    conj_kernel = "sum_min"
 
     def uni_from_multiplicity(self, multiplicity: float) -> Partials:
         return ()

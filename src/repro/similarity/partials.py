@@ -38,3 +38,33 @@ def merge_uni(measure: NominalSimilarityMeasure,
     for contribution in contributions:
         accumulator = measure.uni_merge(accumulator, contribution)
     return accumulator
+
+
+def fold_uni_multiplicities(measure: NominalSimilarityMeasure,
+                            multiplicities: Sequence[float]) -> Partials:
+    """Fold raw multiplicities straight into ``Uni(Mi)``.
+
+    Semantically ``merge_uni(measure, [uni_contribution(measure, m) ...])``,
+    but measures declaring a scalar unilateral kernel
+    (:mod:`repro.similarity.kernels`) skip the per-element tuple churn and
+    reduce in one pass; all supported measures produce identical tuples
+    either way (integer-valued multiplicities sum exactly).
+    """
+    kind = getattr(measure, "uni_kernel", "generic")
+    if kind == "sum":
+        if measure.uses_underlying_set:
+            return (float(sum(1 for multiplicity in multiplicities
+                              if multiplicity > 0)),)
+        return (float(sum(multiplicity for multiplicity in multiplicities
+                          if multiplicity > 0)),)
+    if kind == "sum_squares" and not measure.uses_underlying_set:
+        return (float(sum(multiplicity * multiplicity
+                          for multiplicity in multiplicities
+                          if multiplicity > 0)),)
+    accumulator = measure.uni_zero()
+    for multiplicity in multiplicities:
+        effective = measure.effective_multiplicity(multiplicity)
+        if effective > 0:
+            accumulator = measure.uni_merge(
+                accumulator, measure.uni_from_multiplicity(effective))
+    return accumulator

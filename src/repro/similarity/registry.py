@@ -11,6 +11,7 @@ from typing import Iterable
 
 from repro.core.exceptions import UnknownMeasureError
 from repro.similarity.base import NominalSimilarityMeasure
+from repro.similarity.kernels import CONJ_KERNELS, UNI_KERNELS
 from repro.similarity.measures import (
     DirectRuzickaSimilarity,
     JaccardSimilarity,
@@ -80,11 +81,25 @@ def supported_measures() -> list[str]:
 
 def register_measure(measure: NominalSimilarityMeasure,
                      replace: bool = False) -> None:
-    """Register a user-defined measure instance under ``measure.name``."""
+    """Register a user-defined measure instance under ``measure.name``.
+
+    The measure's declared kernel kinds are validated here: a typo'd
+    ``conj_kernel`` would silently fall back nowhere (the kernels dispatch
+    on exact strings), so unknown declarations are rejected at registration
+    instead of producing wrong fast-path results at query time.
+    """
     if not replace and measure.name in _REGISTRY:
         raise UnknownMeasureError(
             f"measure name {measure.name!r} is already registered; "
             "pass replace=True to overwrite")
+    if getattr(measure, "conj_kernel", "generic") not in CONJ_KERNELS:
+        raise UnknownMeasureError(
+            f"measure {measure.name!r} declares unknown conj_kernel "
+            f"{measure.conj_kernel!r}; expected one of {CONJ_KERNELS}")
+    if getattr(measure, "uni_kernel", "generic") not in UNI_KERNELS:
+        raise UnknownMeasureError(
+            f"measure {measure.name!r} declares unknown uni_kernel "
+            f"{measure.uni_kernel!r}; expected one of {UNI_KERNELS}")
     _REGISTRY[measure.name] = measure
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.exceptions import JobConfigurationError
+from repro.core.interning import InterningContext
 from repro.core.multiset import Multiset
 from repro.core.records import (
     InputTuple,
@@ -80,6 +81,20 @@ class VSmartJoinConfig:
     use_combiners:
         Whether dedicated combiners run (the paper's default is yes; the
         ablation benchmark flips this off).
+    intern:
+        Run the driver's interning pass: elements and multiset identifiers
+        are mapped to dense integers (elements in ascending
+        document-frequency order) before the pipeline runs, candidate pair
+        keys pack both ids into a single int, and the final pairs are
+        mapped back to the original identifiers.  Purely representational —
+        the join output is identical with ``intern=False`` (the legacy
+        arbitrary-key path).
+    prune_candidates:
+        Apply exact upper-bound candidate pruning in the Similarity1
+        reducer (and in chunk expansion): pairs whose similarity upper
+        bound — computed from the two ``Uni`` tuples — cannot reach the
+        threshold are never emitted.  Unlike stop words this never changes
+        the output; ``False`` restores the unpruned candidate stream.
     """
 
     algorithm: str = ONLINE_AGGREGATION
@@ -89,6 +104,8 @@ class VSmartJoinConfig:
     stop_word_frequency: int | None = None
     chunk_size: int | None = None
     use_combiners: bool = True
+    intern: bool = True
+    prune_candidates: bool = True
 
     def __post_init__(self) -> None:
         if self.algorithm not in JOINING_ALGORITHMS:
@@ -177,6 +194,14 @@ class VSmartJoin:
         """Execute the full pipeline and return the similar pairs."""
         measure = self.config.resolved_measure()
         dataset = normalise_input(data)
+
+        interning: InterningContext | None = None
+        if self.config.intern:
+            records = list(dataset.records)
+            interning = InterningContext.from_input_tuples(records)
+            dataset = Dataset("interned_input",
+                              interning.intern_records(records))
+
         job_stats = []
         joining_names: list[str] = []
 
@@ -188,18 +213,24 @@ class VSmartJoin:
             dataset = result.output
 
         sim1_result, joining_results = self._run_joining_and_similarity1(
-            measure, dataset)
+            measure, dataset, interning)
         for result in joining_results:
             job_stats.append(result.stats)
             joining_names.append(result.stats.job_name)
         job_stats.append(sim1_result.stats)
 
-        sim2_job = build_similarity2_job(measure, self.config.threshold,
-                                         self.config.similarity_phase_config())
+        sim2_job = build_similarity2_job(
+            measure, self.config.threshold,
+            self.config.similarity_phase_config(),
+            prune_chunks=self.config.prune_candidates,
+            pair_codec=interning.codec if interning else None)
         sim2_result = self.runner.run(sim2_job, sim1_result.output)
         job_stats.append(sim2_result.stats)
 
-        pairs = sorted(sim2_result.output.records)
+        pairs = list(sim2_result.output.records)
+        if interning is not None:
+            pairs = interning.restore_pairs(pairs)
+        pairs.sort()
         joining_seconds = sum(stats.simulated_seconds for stats in job_stats
                               if stats.job_name in joining_names)
         similarity_seconds = sum(stats.simulated_seconds for stats in job_stats
@@ -214,22 +245,31 @@ class VSmartJoin:
                 "algorithm": self.config.algorithm,
                 "measure": measure.name,
                 "threshold": self.config.threshold,
+                "interned": interning is not None,
             },
         )
         return VSmartJoinResult(pairs=pairs, pipeline=pipeline, config=self.config)
 
     # -- joining algorithms ----------------------------------------------------
 
-    def _run_joining_and_similarity1(self, measure: NominalSimilarityMeasure,
-                                     dataset: Dataset) -> tuple[JobResult, list[JobResult]]:
+    def _run_joining_and_similarity1(
+            self, measure: NominalSimilarityMeasure, dataset: Dataset,
+            interning: InterningContext | None) -> tuple[JobResult, list[JobResult]]:
         algorithm = self.config.algorithm
         phase_config = self.config.similarity_phase_config()
+        prune_measure = measure if self.config.prune_candidates else None
+        prune_threshold = (self.config.threshold
+                           if self.config.prune_candidates else None)
+        pair_codec = interning.codec if interning else None
         if algorithm == ONLINE_AGGREGATION:
             joining = self.runner.run(
                 build_online_aggregation_job(measure, self.config.use_combiners),
                 dataset)
-            sim1 = self.runner.run(build_similarity1_job(phase_config),
-                                   joining.output)
+            sim1 = self.runner.run(
+                build_similarity1_job(phase_config, measure=prune_measure,
+                                      threshold=prune_threshold,
+                                      pair_codec=pair_codec),
+                joining.output)
             return sim1, [joining]
         if algorithm == LOOKUP:
             lookup1 = self.runner.run(
@@ -237,7 +277,10 @@ class VSmartJoin:
             table = lookup_table_from_records(lookup1.output.records)
             fused = JobSpec(name="lookup2+similarity1",
                             mapper=LookupJoinMapper(measure),
-                            reducer=Similarity1Reducer(phase_config),
+                            reducer=Similarity1Reducer(
+                                phase_config, measure=prune_measure,
+                                threshold=prune_threshold,
+                                pair_codec=pair_codec),
                             side_data=table)
             sim1 = self.runner.run(fused, dataset)
             return sim1, [lookup1]
@@ -248,8 +291,11 @@ class VSmartJoin:
         sharded_table = lookup_table_from_records(sharding1.output.records)
         sharding2 = self.runner.run(
             build_sharding2_job(measure, sharded_table), dataset)
-        sim1 = self.runner.run(build_similarity1_job(phase_config),
-                               sharding2.output)
+        sim1 = self.runner.run(
+            build_similarity1_job(phase_config, measure=prune_measure,
+                                  threshold=prune_threshold,
+                                  pair_codec=pair_codec),
+            sharding2.output)
         return sim1, [sharding1, sharding2]
 
 

@@ -24,6 +24,21 @@ Two load-balancing refinements from the paper are implemented:
   are dropped entirely (the dedicated preprocessing job in
   :mod:`repro.vsmart.preprocessing` is the paper's preferred way to do this,
   but the in-reducer guard is kept for ablations).
+
+Two hot-path refinements go beyond the paper:
+
+* **upper-bound candidate pruning** (exact, unlike stop words): when the
+  phase is built with the measure and threshold, a candidate pair whose
+  :meth:`~repro.similarity.base.NominalSimilarityMeasure.similarity_upper_bound`
+  — computable from the two ``Uni`` tuples already sitting in the postings —
+  cannot reach the threshold is never emitted.  The bound is a guarantee,
+  so the join output is unchanged while the quadratic posting-list
+  expansion shrinks *before* it hits the shuffle;
+* **packed pair keys**: when the driver has interned multiset identifiers
+  to dense integers (see :mod:`repro.core.interning`), a
+  :class:`~repro.core.interning.PairCodec` packs each candidate's
+  ``(id_i, id_j)`` into a single int, so the Similarity2 shuffle hashes and
+  compares one machine word instead of a four-field record.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from repro.core.interning import PairCodec
 from repro.core.records import JoinedTuple, PairContribution, PairKey, PostingEntry, SimilarPair
 from repro.mapreduce.job import Combiner, JobSpec, Mapper, Reducer, TaskContext
 from repro.similarity.base import NominalSimilarityMeasure, validate_threshold
@@ -72,6 +88,58 @@ class SimilarityPhaseConfig:
             raise ValueError("stop_word_frequency must be at least 1")
 
 
+class _CandidateFilter:
+    """Shared pruning/packing state of the candidate-emitting stages.
+
+    Pruning activates only when both a measure and a threshold are supplied
+    *and* the measure actually admits a ``Uni``-only bound (measures whose
+    :meth:`~repro.similarity.base.NominalSimilarityMeasure.conj_upper_bound`
+    returns ``None`` would bound every pair by 1.0, so checking them would
+    be pure overhead).
+    """
+
+    __slots__ = ("measure", "threshold", "pair_codec", "prunes")
+
+    def __init__(self, measure: NominalSimilarityMeasure | None,
+                 threshold: float | None,
+                 pair_codec: PairCodec | None) -> None:
+        self.measure = measure
+        self.threshold = (None if threshold is None
+                          else validate_threshold(threshold))
+        self.pair_codec = pair_codec
+        self.prunes = (measure is not None and self.threshold is not None
+                       and measure.conj_upper_bound(
+                           measure.uni_zero(), measure.uni_zero()) is not None)
+
+    def rejects(self, posting_i: PostingEntry,
+                posting_j: PostingEntry) -> bool:
+        """True when the pair provably cannot reach the threshold."""
+        return (self.prunes
+                and self.measure.similarity_upper_bound(
+                    posting_i.uni, posting_j.uni) < self.threshold)
+
+    def pair_record(self, posting_i: PostingEntry,
+                    posting_j: PostingEntry) -> tuple:
+        """Build the canonical keyed record for a candidate pair.
+
+        Without a codec the key is the four-field
+        :class:`~repro.core.records.PairKey`.  With a codec (interned
+        identifiers), numeric id order *is* canonical order, and the key
+        becomes ``(packed_ids, Uni(Mi), Uni(Mj))`` — one int instead of two
+        identifiers.
+        """
+        codec = self.pair_codec
+        if codec is None:
+            return _pair_record(posting_i, posting_j)
+        if posting_i.multiset_id <= posting_j.multiset_id:
+            first, second = posting_i, posting_j
+        else:
+            first, second = posting_j, posting_i
+        key = (codec.pack(first.multiset_id, second.multiset_id),
+               first.uni, second.uni)
+        return (key, PairContribution(first.multiplicity, second.multiplicity))
+
+
 # ---------------------------------------------------------------------------
 # Similarity1
 # ---------------------------------------------------------------------------
@@ -96,10 +164,18 @@ class Similarity1Reducer(Reducer):
     Without chunking the posting list must be materialised, so the runner's
     memory budget applies (exactly the thrashing risk the paper describes);
     with chunking the list is dissected and only chunk pairs are emitted.
+
+    With ``measure`` and ``threshold`` supplied, pairs whose similarity
+    upper bound cannot reach the threshold are pruned here — before they
+    ever enter the shuffle.
     """
 
-    def __init__(self, config: SimilarityPhaseConfig | None = None) -> None:
+    def __init__(self, config: SimilarityPhaseConfig | None = None, *,
+                 measure: NominalSimilarityMeasure | None = None,
+                 threshold: float | None = None,
+                 pair_codec: PairCodec | None = None) -> None:
         self.config = config or SimilarityPhaseConfig()
+        self.filter = _CandidateFilter(measure, threshold, pair_codec)
         self.materializes_input = self.config.chunk_size is None
 
     def reduce(self, key: object, values: Sequence[PostingEntry],
@@ -116,14 +192,21 @@ class Similarity1Reducer(Reducer):
         if chunk_size is not None and frequency > chunk_size:
             yield from self._emit_chunk_pairs(key, postings, chunk_size, context)
             return
+        candidate_filter = self.filter
+        pruned = 0
         for index_i in range(frequency):
             posting_i = postings[index_i]
             for index_j in range(index_i + 1, frequency):
                 posting_j = postings[index_j]
                 if posting_i.multiset_id == posting_j.multiset_id:
                     continue
+                if candidate_filter.rejects(posting_i, posting_j):
+                    pruned += 1
+                    continue
                 context.increment("similarity1/candidate_records", 1)
-                yield _pair_record(posting_i, posting_j)
+                yield candidate_filter.pair_record(posting_i, posting_j)
+        if pruned:
+            context.increment("similarity1/candidates_pruned", pruned)
 
     def _emit_chunk_pairs(self, element: object, postings: list[PostingEntry],
                           chunk_size: int,
@@ -163,7 +246,10 @@ class Similarity2Mapper(Mapper):
     Normal Similarity1 output passes through unchanged.  Chunk-pair records
     (flagged output of an overloaded Similarity1 reducer) are expanded here
     into the candidate pair records the overloaded reducer did not produce,
-    which redistributes the quadratic work across many mappers.
+    which redistributes the quadratic work across many mappers; the same
+    upper-bound pruning the plain Similarity1 reducer applies runs during
+    the expansion, so chunked and unchunked paths emit the identical
+    candidate set.
 
     The emitted value is the per-element conjunctive contribution
     ``g_l(f_ik, f_jk)`` of the measure rather than the raw multiplicity pair,
@@ -171,8 +257,12 @@ class Similarity2Mapper(Mapper):
     same network saving the paper attributes to its combiners.
     """
 
-    def __init__(self, measure: NominalSimilarityMeasure) -> None:
+    def __init__(self, measure: NominalSimilarityMeasure, *,
+                 threshold: float | None = None,
+                 pair_codec: PairCodec | None = None) -> None:
         self.measure = measure
+        self.filter = _CandidateFilter(
+            measure if threshold is not None else None, threshold, pair_codec)
 
     def map(self, record: object, context: TaskContext) -> Iterator[tuple]:
         if isinstance(record, ChunkPairRecord):
@@ -190,14 +280,21 @@ class Similarity2Mapper(Mapper):
                        context: TaskContext) -> Iterator[tuple]:
         first = record.first_chunk
         second = record.second_chunk
+        candidate_filter = self.filter
+        pruned = 0
         for index_i, posting_i in enumerate(first):
             start = index_i + 1 if record.same_chunk else 0
             for posting_j in second[start:]:
                 if posting_i.multiset_id == posting_j.multiset_id:
                     continue
+                if candidate_filter.rejects(posting_i, posting_j):
+                    pruned += 1
+                    continue
                 context.increment("similarity2/chunk_expanded_records", 1)
-                key, contribution = _pair_record(posting_i, posting_j)
+                key, contribution = candidate_filter.pair_record(posting_i, posting_j)
                 yield (key, self._conj(contribution))
+        if pruned:
+            context.increment("similarity1/candidates_pruned", pruned)
 
 
 class ConjunctiveCombiner(Combiner):
@@ -206,7 +303,7 @@ class ConjunctiveCombiner(Combiner):
     def __init__(self, measure: NominalSimilarityMeasure) -> None:
         self.measure = measure
 
-    def combine(self, key: PairKey, values: Sequence[tuple],
+    def combine(self, key: object, values: Sequence[tuple],
                 context: TaskContext) -> Iterator[tuple]:
         accumulator = self.measure.conj_zero()
         for value in values:
@@ -217,26 +314,39 @@ class ConjunctiveCombiner(Combiner):
 class Similarity2Reducer(Reducer):
     """``reduceSimilarity2``: combine partials into the final similarity.
 
-    The reduce key carries ``Uni(Mi)`` and ``Uni(Mj)``; the value list holds
-    the (possibly pre-combined) conjunctive contributions of every shared
-    element.  Pairs reaching the threshold are emitted as
-    :class:`~repro.core.records.SimilarPair`.
+    The reduce key carries ``Uni(Mi)`` and ``Uni(Mj)`` (either as a
+    :class:`~repro.core.records.PairKey` or, with a pair codec, as a packed
+    ``(ids, uni, uni)`` tuple); the value list holds the (possibly
+    pre-combined) conjunctive contributions of every shared element.  Pairs
+    reaching the threshold are emitted as
+    :class:`~repro.core.records.SimilarPair` — carrying dense integer
+    identifiers in the packed case, which the driver maps back to the
+    originals.
     """
 
-    def __init__(self, measure: NominalSimilarityMeasure, threshold: float) -> None:
+    def __init__(self, measure: NominalSimilarityMeasure, threshold: float, *,
+                 pair_codec: PairCodec | None = None) -> None:
         self.measure = measure
         self.threshold = validate_threshold(threshold)
+        self.pair_codec = pair_codec
 
-    def reduce(self, key: PairKey, values: Sequence[tuple],
+    def reduce(self, key: object, values: Sequence[tuple],
                context: TaskContext) -> Iterator[SimilarPair]:
         conj = self.measure.conj_zero()
         for value in values:
             conj = self.measure.conj_merge(conj, value)
-        similarity = self.measure.combine(key.uni_first, key.uni_second, conj)
+        codec = self.pair_codec
+        if codec is None:
+            first, second = key.first, key.second
+            uni_first, uni_second = key.uni_first, key.uni_second
+        else:
+            packed, uni_first, uni_second = key
+            first, second = codec.unpack(packed)
+        similarity = self.measure.combine(uni_first, uni_second, conj)
         context.increment("similarity2/pairs_evaluated", 1)
         if similarity >= self.threshold:
             context.increment("similarity2/pairs_output", 1)
-            yield SimilarPair(key.first, key.second, similarity)
+            yield SimilarPair(first, second, similarity)
 
 
 # ---------------------------------------------------------------------------
@@ -246,25 +356,45 @@ class Similarity2Reducer(Reducer):
 
 def build_similarity1_job(config: SimilarityPhaseConfig | None = None,
                           name: str = "similarity1",
-                          mapper: Mapper | None = None) -> JobSpec:
+                          mapper: Mapper | None = None, *,
+                          measure: NominalSimilarityMeasure | None = None,
+                          threshold: float | None = None,
+                          pair_codec: PairCodec | None = None) -> JobSpec:
     """Build the Similarity1 job.
 
     ``mapper`` can be overridden so that a joining algorithm (Lookup) whose
     last step already produces element-keyed postings can fuse its map stage
     with Similarity1 and save a MapReduce step, as the paper describes.
+    Passing ``measure`` and ``threshold`` enables upper-bound candidate
+    pruning; ``pair_codec`` enables packed pair keys (interned identifiers
+    only).
     """
     return JobSpec(name=name,
                    mapper=mapper or Similarity1Mapper(),
-                   reducer=Similarity1Reducer(config))
+                   reducer=Similarity1Reducer(config, measure=measure,
+                                              threshold=threshold,
+                                              pair_codec=pair_codec))
 
 
 def build_similarity2_job(measure: NominalSimilarityMeasure, threshold: float,
                           config: SimilarityPhaseConfig | None = None,
-                          name: str = "similarity2") -> JobSpec:
-    """Build the Similarity2 job for a measure and threshold."""
+                          name: str = "similarity2", *,
+                          prune_chunks: bool = False,
+                          pair_codec: PairCodec | None = None) -> JobSpec:
+    """Build the Similarity2 job for a measure and threshold.
+
+    ``prune_chunks`` applies the Similarity1 upper-bound pruning during
+    chunk-pair expansion (it must match whether the Similarity1 job pruned,
+    so both paths emit the same candidate set); ``pair_codec`` must be the
+    codec the Similarity1 job packed its keys with, or ``None``.
+    """
     resolved_config = config or SimilarityPhaseConfig()
     combiner = ConjunctiveCombiner(measure) if resolved_config.use_combiners else None
+    mapper = Similarity2Mapper(measure,
+                               threshold=threshold if prune_chunks else None,
+                               pair_codec=pair_codec)
     return JobSpec(name=name,
-                   mapper=Similarity2Mapper(measure),
-                   reducer=Similarity2Reducer(measure, threshold),
+                   mapper=mapper,
+                   reducer=Similarity2Reducer(measure, threshold,
+                                              pair_codec=pair_codec),
                    combiner=combiner)

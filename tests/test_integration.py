@@ -120,7 +120,9 @@ class TestMemoryPressureScenario:
     def test_lookup_fails_when_table_does_not_fit_but_sharding_survives(self, workload):
         from repro.mapreduce.cluster import Cluster
 
-        tight = Cluster(num_machines=4, memory_per_machine=3_000,
+        # Budget sized between the sharded table (tiny: only multisets with
+        # |U(Mi)| > C get entries) and the full interned lookup table.
+        tight = Cluster(num_machines=4, memory_per_machine=2_600,
                         disk_per_machine=10 ** 9)
         lookup = run_algorithm("lookup", workload.multisets, threshold=0.5,
                                cluster=tight, sharding_threshold=30)

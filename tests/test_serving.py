@@ -664,3 +664,93 @@ class TestSortMatches:
         matches = [QueryMatch(2, 0.5), QueryMatch("a", 0.5)]
         ordered = sort_matches(matches)
         assert {match.multiset_id for match in ordered} == {2, "a"}
+
+
+class TestInternedIndex:
+    """The interned index answers exactly like the uninterned one."""
+
+    def build(self, multisets, measure="ruzicka", intern=True):
+        index = SimilarityIndex(measure, intern=intern)
+        index.bulk_load(multisets)
+        return index
+
+    @pytest.mark.parametrize("measure", ["ruzicka", "jaccard", "vector_cosine",
+                                         "overlap"])
+    def test_threshold_and_topk_parity(self, small_multisets, measure):
+        interned = self.build(small_multisets, measure=measure, intern=True)
+        plain = self.build(small_multisets, measure=measure, intern=False)
+        for query in small_multisets[:6]:
+            assert (interned.query_threshold(query, 0.4)
+                    == plain.query_threshold(query, 0.4))
+            assert interned.query_topk(query, 5) == plain.query_topk(query, 5)
+
+    def test_remove_retracts_interned_postings(self, overlapping_multisets):
+        index = self.build(overlapping_multisets, intern=True)
+        postings_before = index.num_postings
+        index.remove("a")
+        assert index.num_postings < postings_before
+        assert "a" not in index
+        matches = index.query_threshold(overlapping_multisets[1], 0.9)
+        assert all(match.multiset_id != "a" for match in matches)
+
+    def test_unknown_query_elements_skip_scanning(self, overlapping_multisets):
+        index = self.build(overlapping_multisets, intern=True)
+        stranger = Multiset("query", {"never-indexed-1": 2, "never-indexed-2": 1})
+        assert index.query_threshold(stranger, 0.1) == []
+        assert index.counters().get("serving/postings_scanned", 0) == 0
+
+    @pytest.mark.parametrize("intern", [True, False])
+    def test_literal_none_element_is_a_real_element(self, intern):
+        # None is a legal multiset element; it must not be mistaken for the
+        # "never indexed" marker on either index representation.
+        index = SimilarityIndex("ruzicka", intern=intern)
+        index.add(Multiset("a", {None: 3, "x": 1}))
+        matches = index.query_threshold(Multiset("q", {None: 3, "x": 1}), 0.9)
+        assert [match.multiset_id for match in matches] == ["a"]
+        assert matches[0].similarity == 1.0
+        index.remove("a")
+        assert index.num_postings == 0
+
+    def test_upper_bound_pruning_still_counts(self, small_multisets):
+        index = self.build(small_multisets, intern=True)
+        index.query_threshold(small_multisets[0], 0.95)
+        counters = index.counters()
+        assert counters["serving/candidates_examined"] > 0
+
+
+class TestCacheCounterExposure:
+    """Satellite: hit/miss/eviction counters surface on node and service."""
+
+    def test_node_counter_properties(self, overlapping_multisets):
+        node = ServingNode("ruzicka", cache_capacity=2)
+        node.bulk_load(overlapping_multisets)
+        query = overlapping_multisets[0]
+        node.query_threshold(query, 0.5)
+        node.query_threshold(query, 0.5)
+        assert node.cache_hits == 1
+        assert node.cache_misses == 1
+        assert node.cache_evictions == 0
+        # Two more content-distinct entries overflow the capacity-2 cache
+        # (multisets "a" and "b" share a content signature, so index 1
+        # would be a hit, not a new entry).
+        node.query_threshold(overlapping_multisets[2], 0.5)
+        node.query_threshold(overlapping_multisets[3], 0.5)
+        assert node.cache_evictions == 1
+        stats = node.stats()
+        assert stats["cache/hits"] == node.cache_hits
+        assert stats["cache/misses"] == node.cache_misses
+        assert stats["cache/evictions"] == node.cache_evictions
+
+    def test_service_per_node_stats(self, small_multisets):
+        service = ShardedSimilarityService("ruzicka", num_shards=3,
+                                           cache_capacity=8)
+        service.bulk_load(small_multisets)
+        for query in small_multisets[:4]:
+            service.query_threshold(query, 0.5)
+            service.query_threshold(query, 0.5)
+        per_node = service.per_node_stats()
+        assert set(per_node) == {"node0", "node1", "node2"}
+        totals = service.stats()
+        for stat in ("cache/hits", "cache/misses", "cache/evictions"):
+            assert totals[stat] == sum(stats[stat] for stats in per_node.values())
+        assert totals["cache/hits"] > 0

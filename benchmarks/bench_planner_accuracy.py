@@ -1,0 +1,105 @@
+"""Planner accuracy: predicted algorithm choice vs best-by-measurement.
+
+The engine's ``algorithm="auto"`` planner answers the paper's central
+practical question — which algorithm wins for a given dataset and
+threshold — from corpus statistics and the cost model alone, without
+running the candidates.  This benchmark replays the Fig. 4 threshold sweep
+(small dataset, 500 machines, paper calibration) twice: once *measured*
+(running all four algorithms, as ``bench_fig4_threshold_sweep`` does) and
+once *planned*, and records, per threshold:
+
+* the planner's choice and the measured winner (and whether they agree);
+* predicted vs measured simulated seconds for every feasible candidate
+  (the prediction/measurement ratio is the planner's calibration error).
+
+The headline series — agreement per threshold and the chosen algorithm —
+is deterministic and goes through ``bench_record`` into the committed
+smoke baselines, so a cost-model or planner change that flips a choice
+trips ``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DEFAULT_SHARDING_C, THRESHOLD_GRID, run_once
+from repro.analysis.experiments import threshold_sweep
+from repro.analysis.reporting import format_table
+from repro.engine.planner import Planner
+from repro.engine.spec import PLANNABLE_ALGORITHMS, JoinSpec
+
+ALGORITHMS = PLANNABLE_ALGORITHMS
+
+
+def test_planner_accuracy_fig4_sweep(benchmark, small_dataset, cluster_500,
+                                     cost_parameters, bench_record):
+    multisets = small_dataset.multisets
+    planner = Planner(cost_parameters)
+
+    def run():
+        # Same configuration as the Fig. 4 sweep: the paper-calibrated
+        # raw-identifier cost model with the unpruned candidate stream.
+        measured = threshold_sweep(ALGORITHMS, multisets, THRESHOLD_GRID,
+                                   cluster=cluster_500,
+                                   sharding_threshold=DEFAULT_SHARDING_C,
+                                   cost_parameters=cost_parameters,
+                                   intern=False, prune_candidates=False,
+                                   keep_pairs=False)
+        plans = {}
+        for threshold in THRESHOLD_GRID:
+            spec = JoinSpec(threshold=threshold,
+                            sharding_threshold=DEFAULT_SHARDING_C,
+                            intern=False, prune_candidates=False)
+            plans[threshold] = planner.plan(spec, multisets, cluster_500)
+        return measured, plans
+
+    measured, plans = run_once(benchmark, run)
+
+    choices = {}
+    agreement = {}
+    predicted_series = {}
+    ratio_series = {}
+    rows = []
+    for threshold in THRESHOLD_GRID:
+        outcomes = measured[threshold]
+        finished = {name: outcome.simulated_seconds
+                    for name, outcome in outcomes.items() if outcome.finished}
+        best = min(finished, key=finished.get)
+        plan = plans[threshold]
+        choices[threshold] = {"planned": plan.algorithm, "measured": best}
+        agreement[threshold] = plan.algorithm == best
+        predicted_series[threshold] = {
+            candidate.algorithm: candidate.predicted_seconds
+            for candidate in plan.candidates}
+        chosen_ratio = (plan.predicted_seconds / finished[plan.algorithm]
+                        if plan.algorithm in finished else None)
+        ratio_series[threshold] = chosen_ratio
+        rows.append([threshold, plan.algorithm, best,
+                     "yes" if agreement[threshold] else "NO",
+                     f"{plan.predicted_seconds:,.0f}",
+                     f"{finished[best]:,.0f}",
+                     f"{chosen_ratio:.2f}" if chosen_ratio else "-"])
+
+    agreement_rate = sum(agreement.values()) / len(agreement)
+    bench_record["choices"] = choices
+    bench_record["agreement"] = agreement
+    bench_record["agreement_rate"] = agreement_rate
+    bench_record["predicted_seconds"] = predicted_series
+    # Both sides are deterministic (cost-model outputs), so the ratios are
+    # stable series the regression gate can watch within its tolerance.
+    bench_record["prediction_over_measurement"] = ratio_series
+
+    print()
+    print(format_table(
+        ["threshold", "planner choice", "measured best", "agree",
+         "predicted s", "measured s", "pred/meas"],
+        rows,
+        title="Planner choice vs measured winner (Fig. 4 sweep, small "
+              "dataset, 500 machines)"))
+    print(f"\nAgreement: {sum(agreement.values())}/{len(agreement)} "
+          f"thresholds ({agreement_rate:.0%}).")
+
+    # On the calibrated small preset the planner must match the measured
+    # winner at every threshold, and its prediction for the chosen pipeline
+    # must stay within a factor of two of the measurement.
+    assert agreement_rate == 1.0, choices
+    for threshold, ratio in ratio_series.items():
+        assert ratio is not None and 0.5 <= ratio <= 2.0, (threshold, ratio)

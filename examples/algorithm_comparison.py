@@ -1,9 +1,13 @@
-"""Compare the V-SMART-Join algorithms against VCL on a simulated cluster.
+"""Compare the joining algorithms — and check the planner against reality.
 
 A miniature version of the paper's Figure 4 / Figure 5 experiments: run
 Online-Aggregation, Lookup, Sharding and the VCL baseline on the scaled-down
 "small" dataset, sweep the similarity threshold and the number of machines,
-and print the simulated run times the cost model produces.
+and print the simulated run times the cost model produces.  The final
+section asks the cost-model planner (``JoinSpec(algorithm="auto")``) which
+algorithm it *predicts* will win and compares that against the measured
+sweep — the planner answering the paper's central practical question
+without running all four pipelines.
 
 Run with::
 
@@ -12,6 +16,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro import JoinSpec, SimilarityEngine
 from repro.analysis.calibration import paper_scale_cluster, paper_scale_cost_parameters
 from repro.analysis.experiments import machine_sweep, threshold_sweep
 from repro.analysis.reporting import format_sweep_table
@@ -37,15 +42,30 @@ def main() -> None:
                                    "(500 machines; compare paper Fig. 4)"))
 
     machines = (100, 500, 900)
-    sweep = machine_sweep(ALGORITHMS, dataset.multisets, machines,
-                          base_cluster=paper_scale_cluster(),
-                          threshold=0.5, sharding_threshold=1000,
-                          cost_parameters=cost, keep_pairs=False)
+    machine_results = machine_sweep(ALGORITHMS, dataset.multisets, machines,
+                                    base_cluster=paper_scale_cluster(),
+                                    threshold=0.5, sharding_threshold=1000,
+                                    cost_parameters=cost, keep_pairs=False)
     print()
-    print(format_sweep_table(sweep, ALGORITHMS, "machines",
+    print(format_sweep_table(machine_results, ALGORITHMS, "machines",
                              title="Simulated run time vs number of machines "
                                    "(t = 0.5; compare paper Fig. 5)"))
+
+    # The planner's answer to the same question — without running anything.
+    engine = SimilarityEngine(cluster=paper_scale_cluster(500),
+                              cost_parameters=cost)
+    plan = engine.plan(JoinSpec(threshold=0.5, sharding_threshold=1000),
+                       dataset.multisets)
     print()
+    print(plan.explain())
+
+    measured = {name: outcome.simulated_seconds
+                for name, outcome in sweep[0.5].items() if outcome.finished}
+    fastest = min(measured, key=measured.get)
+    agree = "matches" if plan.algorithm == fastest else "disagrees with"
+    print()
+    print(f"Planner choice {plan.algorithm!r} {agree} the measured winner "
+          f"{fastest!r} at t=0.5.")
     print("Simulated seconds come from the deterministic cost model; only the")
     print("relative comparisons are meaningful (see EXPERIMENTS.md).")
 

@@ -6,7 +6,8 @@ similarity graph, and the connected clusters are candidate ISP load
 balancers.  The example:
 
 1. generates a synthetic workload with planted proxy groups,
-2. runs the V-SMART-Join pipeline at several thresholds,
+2. runs the similarity join at several thresholds through one engine
+   session (the cluster and backend are owned once, not per call),
 3. filters out IPs that observed fewer than 50 cookies (the paper's
    false-positive mitigation),
 4. reports coverage and false positives against the planted ground truth.
@@ -18,6 +19,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro import JoinSpec, SimilarityEngine
 from repro.analysis.reporting import format_table
 from repro.communities.proxies import (
     discovered_proxy_groups,
@@ -26,7 +28,6 @@ from repro.communities.proxies import (
 )
 from repro.datasets.ip_cookie import IPCookieConfig, generate_ip_cookie_dataset
 from repro.mapreduce.cluster import laptop_cluster
-from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig
 
 #: The paper filters out IPs that observed fewer than 50 cookies; the
 #: synthetic workload is smaller, so the filter is scaled down too.
@@ -40,24 +41,22 @@ def main() -> None:
                             cookies_per_proxy_pool=30, proxy_cookie_affinity=0.9,
                             seed=42)
     dataset = generate_ip_cookie_dataset(config)
-    cluster = laptop_cluster(num_machines=8)
+    engine = SimilarityEngine(cluster=laptop_cluster(num_machines=8))
     print(f"Generated {len(dataset.multisets)} IPs, "
           f"{len(dataset.proxy_groups)} planted load-balancer groups.")
 
+    kept = filter_small_multisets(dataset.multisets, MINIMUM_COOKIES_PER_IP)
+    kept_ids = {multiset.id for multiset in kept}
+
     rows = []
     for threshold in (0.1, 0.3, 0.5, 0.7):
-        join = VSmartJoin(VSmartJoinConfig(algorithm="online_aggregation",
-                                           measure="ruzicka",
-                                           threshold=threshold,
-                                           sharding_threshold=64),
-                          cluster=cluster)
-        unfiltered = join.run(dataset.multisets)
-        raw_eval = evaluate_proxy_discovery(unfiltered.pairs, dataset.proxy_groups,
-                                            threshold)
+        spec = JoinSpec(algorithm="online_aggregation", measure="ruzicka",
+                        threshold=threshold, sharding_threshold=64)
+        unfiltered = engine.run(spec, dataset.multisets)
+        raw_eval = evaluate_proxy_discovery(unfiltered.pairs,
+                                            dataset.proxy_groups, threshold)
 
-        kept = filter_small_multisets(dataset.multisets, MINIMUM_COOKIES_PER_IP)
-        kept_ids = {multiset.id for multiset in kept}
-        filtered = join.run(kept)
+        filtered = engine.run(spec, kept)
         filtered_eval = evaluate_proxy_discovery(filtered.pairs, dataset.proxy_groups,
                                                  threshold, restrict_to_ids=kept_ids)
         rows.append([threshold,
@@ -74,12 +73,11 @@ def main() -> None:
         title="Proxy discovery quality vs similarity threshold (paper section 7.4)"))
 
     # Show the discovered communities at the paper's low-threshold setting.
-    join = VSmartJoin(VSmartJoinConfig(threshold=0.3, sharding_threshold=64),
-                      cluster=cluster)
-    result = join.run(filter_small_multisets(dataset.multisets, MINIMUM_COOKIES_PER_IP))
+    result = engine.run(JoinSpec(threshold=0.3, sharding_threshold=64), kept)
     groups = discovered_proxy_groups(result.pairs)
     print()
-    print(f"Discovered {len(groups)} candidate load balancers at t=0.3; largest groups:")
+    print(f"Discovered {len(groups)} candidate load balancers at t=0.3 "
+          f"(planner ran {result.algorithm!r}); largest groups:")
     for group in groups[:5]:
         members = ", ".join(sorted(group)[:6])
         suffix = ", ..." if len(group) > 6 else ""

@@ -1,19 +1,27 @@
-"""Quickstart: find all pairs of similar multisets with V-SMART-Join.
+"""Quickstart: find all pairs of similar multisets with the unified engine.
 
 Run with::
 
     python examples/quickstart.py
 
 The example builds a handful of IP-like entities (multisets of cookies),
-runs the V-SMART-Join pipeline on the simulated MapReduce cluster, and
-cross-checks the result against the exact in-memory join.
+declares the join as a :class:`~repro.engine.spec.JoinSpec`, lets the
+cost-model planner pick the algorithm (``algorithm="auto"``), inspects the
+plan the way one would inspect a query plan, and cross-checks the result
+against the exact in-memory join.
 """
 
 from __future__ import annotations
 
-from repro import Multiset, all_pairs_exact, compute_similarity, vsmart_join
-from repro.mapreduce import laptop_cluster
-from repro.similarity import available_measures
+from repro import (
+    JoinSpec,
+    Multiset,
+    SimilarityEngine,
+    all_pairs_exact,
+    available_algorithms,
+    compute_similarity,
+    list_measures,
+)
 
 
 def build_example_entities() -> list[Multiset]:
@@ -30,23 +38,34 @@ def build_example_entities() -> list[Multiset]:
 def main() -> None:
     entities = build_example_entities()
 
-    print("Available similarity measures:", ", ".join(available_measures()))
+    # Everything a JoinSpec accepts is discoverable from the package root.
+    print("Available measures:  ", ", ".join(list_measures()))
+    print("Available algorithms:", ", ".join(available_algorithms()))
     print()
 
-    # The one-call API: all pairs with Ruzicka similarity >= 0.5, computed by
-    # the Online-Aggregation + similarity-phase MapReduce pipeline.
-    pairs = vsmart_join(entities, measure="ruzicka", threshold=0.5,
-                        algorithm="online_aggregation", cluster=laptop_cluster())
-    print("Similar pairs found by V-SMART-Join (Ruzicka >= 0.5):")
-    for pair in pairs:
+    spec = JoinSpec(measure="ruzicka", threshold=0.5, algorithm="auto")
+    with SimilarityEngine() as engine:
+        # Plan first: which algorithm would the cost model pick, and why?
+        plan = engine.plan(spec, entities)
+        print(plan.explain())
+        print()
+
+        # Run it — passing the plan back avoids re-profiling the corpus.
+        # The result type is the same whichever algorithm executed.
+        result = engine.run(spec, entities, plan=plan)
+
+    print(f"Similar pairs found by {result.algorithm!r} (Ruzicka >= 0.5):")
+    for pair in result:
         print(f"  {pair.first:>14}  ~  {pair.second:<14}  similarity={pair.similarity:.3f}")
     print()
 
     # Cross-check against the exact in-memory join (the ground truth used
     # throughout the test suite).
     exact = all_pairs_exact(entities, "ruzicka", 0.5)
-    assert {p.pair for p in exact} == {p.pair for p in pairs}
-    print("Exact in-memory join agrees with the MapReduce pipeline.")
+    assert {p.pair for p in exact} == {p.pair for p in result}
+    print("Exact in-memory join agrees with the planned MapReduce pipeline.")
+    print(f"(simulated cost: predicted {result.predicted_seconds:,.0f} s, "
+          f"measured {result.simulated_seconds:,.0f} s)")
     print()
 
     # Individual similarities are one call away as well.

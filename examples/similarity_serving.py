@@ -4,19 +4,19 @@ Run with::
 
     python examples/similarity_serving.py
 
-The example runs the batch V-SMART-Join once, warm-starts a sharded serving
-fleet from its result, and then answers live threshold / top-k queries —
-including for an IP that only appears after the batch ran, the situation
-the batch pipeline alone cannot handle.
+The example runs the batch join once through the unified engine (letting
+the planner pick the algorithm), hands the result off to a sharded serving
+fleet with ``result.to_service()``, and then answers live threshold / top-k
+queries — including for an IP that only appears after the batch ran, the
+situation the batch pipeline alone cannot handle.
 """
 
 from __future__ import annotations
 
+from repro import JoinSpec, SimilarityEngine
 from repro.core.multiset import Multiset
 from repro.datasets.ip_cookie import small_dataset_config, generate_ip_cookie_dataset
 from repro.mapreduce.cluster import laptop_cluster
-from repro.serving import bootstrap_from_join
-from repro.vsmart import VSmartJoin, VSmartJoinConfig
 
 THRESHOLD = 0.5
 
@@ -27,14 +27,14 @@ def main() -> None:
     print(f"Generated {len(multisets)} IPs "
           f"({len(dataset.proxy_groups)} planted proxy groups).")
 
-    # Nightly batch: the full all-pair join.
-    join = VSmartJoin(VSmartJoinConfig(threshold=THRESHOLD),
-                      cluster=laptop_cluster()).run(multisets)
-    print(f"Batch join found {len(join.pairs)} similar pairs "
-          f"({join.simulated_seconds:,.0f} simulated seconds).")
+    # Nightly batch: the full all-pair join, algorithm chosen by the planner.
+    with SimilarityEngine(cluster=laptop_cluster()) as engine:
+        join = engine.run(JoinSpec(threshold=THRESHOLD), multisets)
+    print(f"Batch join ran {join.algorithm!r} and found {len(join.pairs)} "
+          f"similar pairs ({join.simulated_seconds:,.0f} simulated seconds).")
 
     # Online serving: warm-started from the batch result, sharded 4 ways.
-    service = bootstrap_from_join(multisets, join, num_shards=4)
+    service = join.to_service(num_shards=4)
     print(f"Serving fleet ready: {service!r}")
 
     # Member queries hit the warmed caches.

@@ -28,14 +28,22 @@ depends on:
 * :mod:`repro.analysis` — the experiment harness behind the figure
   benchmarks.
 
+* :mod:`repro.engine` — the unified front door: a declarative
+  :class:`JoinSpec`, a cost-model-driven :class:`Planner` with inspectable
+  plans, the :class:`SimilarityEngine` session, and the single
+  :class:`JoinResult` every execution path returns.
+
 Quickstart::
 
-    from repro import Multiset, vsmart_join
+    from repro import JoinSpec, Multiset, SimilarityEngine
 
     ips = [Multiset("ip-a", {"cookie1": 3, "cookie2": 1}),
            Multiset("ip-b", {"cookie1": 2, "cookie2": 2}),
            Multiset("ip-c", {"cookie9": 5})]
-    pairs = vsmart_join(ips, measure="ruzicka", threshold=0.4)
+    with SimilarityEngine() as engine:
+        result = engine.run(JoinSpec(measure="ruzicka", threshold=0.4), ips)
+    for pair in result:
+        print(pair.first, pair.second, pair.similarity)
 """
 
 from repro.core import (
@@ -65,25 +73,46 @@ from repro.serving import (
     SimilarityIndex,
     bootstrap_from_join,
 )
-from repro.similarity import all_pairs_exact, compute_similarity, get_measure
+from repro.similarity import (
+    all_pairs_exact,
+    compute_similarity,
+    get_measure,
+    list_measures,
+)
 from repro.vcl import VCLConfig, VCLJoin, vcl_join
 from repro.vsmart import VSmartJoin, VSmartJoinConfig, vsmart_join
+from repro.engine import (
+    CorpusProfile,
+    JoinPlan,
+    JoinResult,
+    JoinSpec,
+    Planner,
+    SimilarityEngine,
+    available_algorithms,
+    join,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Cluster",
+    "CorpusProfile",
     "ElementDictionary",
     "ExecutionBackend",
     "InputTuple",
     "InternedMultiset",
+    "JoinPlan",
+    "JoinResult",
+    "JoinSpec",
     "Multiset",
     "PairCodec",
+    "Planner",
     "ProcessBackend",
     "SerialBackend",
     "ServingNode",
     "ShardedSimilarityService",
     "SimilarPair",
+    "SimilarityEngine",
     "SimilarityIndex",
     "SparseVector",
     "ThreadBackend",
@@ -93,13 +122,16 @@ __all__ = [
     "VSmartJoinConfig",
     "__version__",
     "all_pairs_exact",
+    "available_algorithms",
     "available_backends",
     "bootstrap_from_join",
     "compute_similarity",
     "get_backend",
     "get_measure",
     "intern_corpus",
+    "join",
     "laptop_cluster",
+    "list_measures",
     "paper_cluster",
     "vcl_join",
     "vsmart_join",

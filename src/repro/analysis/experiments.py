@@ -21,11 +21,11 @@ from repro.core.exceptions import (
 )
 from repro.core.multiset import Multiset
 from repro.core.records import SimilarPair
+from repro.engine.engine import SimilarityEngine
+from repro.engine.spec import ENGINE_ALGORITHMS, JoinSpec
 from repro.mapreduce.backends import ExecutionBackend
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.costmodel import DEFAULT_COST_PARAMETERS, CostParameters
-from repro.vcl.driver import VCLConfig, VCLJoin
-from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig
 
 #: Status values an experiment run can end with.
 STATUS_OK = "ok"
@@ -34,7 +34,8 @@ STATUS_TIMEOUT = "timeout"
 STATUS_UNSUPPORTED = "unsupported"
 STATUS_OUT_OF_DISK = "out_of_disk"
 
-#: The algorithm names accepted by :func:`run_algorithm`.
+#: The distributed contenders the figure sweeps compare (``run_algorithm``
+#: itself accepts every engine algorithm, ``"auto"`` included).
 ALGORITHMS = ("online_aggregation", "lookup", "sharding", "vcl")
 
 
@@ -79,44 +80,32 @@ def run_algorithm(algorithm: str,
                   keep_pairs: bool = True) -> AlgorithmOutcome:
     """Run one algorithm and capture its outcome, including failure modes.
 
-    Any of the V-SMART-Join joining algorithms or the VCL baseline can be
-    selected by name.  Memory-budget violations, simulated-scheduler kills,
+    A thin wrapper over :class:`~repro.engine.engine.SimilarityEngine`: any
+    engine algorithm can be selected by name — the V-SMART-Join joining
+    algorithms, the VCL baseline, the sequential baselines, or ``"auto"``
+    to let the planner choose (the outcome then reports the algorithm the
+    plan picked).  Memory-budget violations, simulated-scheduler kills,
     disk exhaustion and missing engine features are converted into statuses,
     mirroring how the paper reports algorithms that "never succeeded to
     finish".  ``backend`` selects the execution backend; outcomes (pairs,
     counters, simulated times and failure statuses) are backend-invariant.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+    if algorithm not in ENGINE_ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; "
+                         f"expected one of {ENGINE_ALGORITHMS}")
+    spec = JoinSpec(measure=measure, threshold=threshold, algorithm=algorithm,
+                    sharding_threshold=sharding_threshold,
+                    stop_word_frequency=stop_word_frequency,
+                    chunk_size=chunk_size, use_combiners=use_combiners,
+                    intern=intern, prune_candidates=prune_candidates,
+                    vcl_element_order=vcl_element_order,
+                    vcl_super_element_groups=vcl_super_element_groups)
     try:
-        if algorithm == "vcl":
-            config = VCLConfig(measure=measure, threshold=threshold,
-                               element_order=vcl_element_order,
-                               super_element_groups=vcl_super_element_groups,
-                               intern=intern)
-            with VCLJoin(config, cluster=cluster, cost_parameters=cost_parameters,
-                         backend=backend) as join:
-                result = join.run(multisets)
-            return AlgorithmOutcome(
-                algorithm=algorithm,
-                status=STATUS_OK,
-                simulated_seconds=result.simulated_seconds,
-                num_pairs=len(result.pairs),
-                pairs=result.pairs if keep_pairs else None,
-            )
-        config = VSmartJoinConfig(algorithm=algorithm, measure=measure,
-                                  threshold=threshold,
-                                  sharding_threshold=sharding_threshold,
-                                  stop_word_frequency=stop_word_frequency,
-                                  chunk_size=chunk_size,
-                                  use_combiners=use_combiners,
-                                  intern=intern,
-                                  prune_candidates=prune_candidates)
-        with VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters,
-                        backend=backend) as join:
-            result = join.run(multisets)
+        with SimilarityEngine(cluster=cluster, backend=backend,
+                              cost_parameters=cost_parameters) as engine:
+            result = engine.run(spec, multisets)
         return AlgorithmOutcome(
-            algorithm=algorithm,
+            algorithm=result.algorithm,
             status=STATUS_OK,
             simulated_seconds=result.simulated_seconds,
             joining_seconds=result.joining_seconds,
@@ -190,12 +179,13 @@ def sharding_parameter_sweep(multisets: Sequence[Multiset],
         # intern=False / prune_candidates=False keep the C sweep on the
         # paper's raw-identifier cost model with the unpruned candidate
         # stream, like the other figure experiments.
-        config = VSmartJoinConfig(algorithm="sharding", measure=measure,
-                                  threshold=threshold,
-                                  sharding_threshold=int(parameter),
-                                  intern=False, prune_candidates=False)
-        join = VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters)
-        outcome = join.run(multisets)
+        spec = JoinSpec(algorithm="sharding", measure=measure,
+                        threshold=threshold,
+                        sharding_threshold=int(parameter),
+                        intern=False, prune_candidates=False)
+        with SimilarityEngine(cluster=cluster,
+                              cost_parameters=cost_parameters) as engine:
+            outcome = engine.run(spec, multisets)
         stats = {s.job_name: s.simulated_seconds for s in outcome.pipeline.job_stats}
         results[int(parameter)] = {
             "sharding1_seconds": stats.get("sharding1", 0.0),

@@ -16,7 +16,14 @@ from repro.similarity.exact import all_pairs_exact
 
 
 class BruteForceJoin:
-    """Exhaustive exact all-pair similarity join."""
+    """Exhaustive exact all-pair similarity join.
+
+    Runnable through the unified engine as
+    ``JoinSpec(algorithm=BruteForceJoin.algorithm)``.
+    """
+
+    #: The :attr:`repro.engine.spec.JoinSpec.algorithm` name of this baseline.
+    algorithm = "exact"
 
     def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
                  threshold: float = 0.5) -> None:

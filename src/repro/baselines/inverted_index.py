@@ -27,7 +27,15 @@ from repro.similarity.registry import get_measure
 
 
 class InvertedIndexJoin:
-    """Exact all-pair join driven by an in-memory inverted index."""
+    """Exact all-pair join driven by an in-memory inverted index.
+
+    Runnable through the unified engine as
+    ``JoinSpec(algorithm=InvertedIndexJoin.algorithm)`` (the spec's
+    ``stop_word_frequency`` maps onto this class's knob of the same name).
+    """
+
+    #: The :attr:`repro.engine.spec.JoinSpec.algorithm` name of this baseline.
+    algorithm = "inverted_index"
 
     def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
                  threshold: float = 0.5,

@@ -91,7 +91,14 @@ class MinHashLSHJoin:
     similarity is either estimated from the signatures (default) or verified
     exactly when ``verify_exact`` is set, in which case the algorithm's only
     approximation is potential recall loss from banding.
+
+    Runnable through the unified engine as
+    ``JoinSpec(algorithm=MinHashLSHJoin.algorithm)`` (the engine verifies
+    candidates exactly, so only banding recall is approximate).
     """
+
+    #: The :attr:`repro.engine.spec.JoinSpec.algorithm` name of this baseline.
+    algorithm = "minhash"
 
     def __init__(self, measure: str = "ruzicka", threshold: float = 0.5,
                  parameters: LSHParameters | None = None,

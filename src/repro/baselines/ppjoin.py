@@ -57,7 +57,14 @@ class _OrderedView:
 
 
 class PPJoin:
-    """Prefix-filtered, size-filtered, position-filtered exact join."""
+    """Prefix-filtered, size-filtered, position-filtered exact join.
+
+    Runnable through the unified engine as
+    ``JoinSpec(algorithm=PPJoin.algorithm)``.
+    """
+
+    #: The :attr:`repro.engine.spec.JoinSpec.algorithm` name of this baseline.
+    algorithm = "ppjoin"
 
     def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
                  threshold: float = 0.5,

@@ -1,0 +1,273 @@
+"""The unified front door: :class:`SimilarityEngine`.
+
+One session object owns the simulated cluster, the execution backend and
+the cost-model calibration; every join — whatever algorithm the spec names
+(or lets the planner choose) — goes through :meth:`SimilarityEngine.run`
+and comes back as a single :class:`~repro.engine.result.JoinResult`::
+
+    from repro import JoinSpec, SimilarityEngine
+
+    with SimilarityEngine() as engine:
+        plan = engine.plan(JoinSpec(threshold=0.5), multisets)
+        print(plan.explain())                       # EXPLAIN-style breakdown
+        result = engine.run(JoinSpec(threshold=0.5), multisets)
+        service = result.to_service(num_shards=4)   # serving handoff
+
+The engine executes plans through the existing drivers
+(:class:`~repro.vsmart.driver.VSmartJoin`, :class:`~repro.vcl.driver.VCLJoin`),
+the exact in-memory reference join and the sequential baselines, so its
+output is bit-identical to calling those paths directly with the same
+parameters.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.inverted_index import InvertedIndexJoin
+from repro.baselines.minhash import MinHashLSHJoin
+from repro.baselines.ppjoin import PPJoin
+from repro.core.exceptions import JobConfigurationError
+from repro.core.multiset import Multiset
+from repro.engine.planner import CorpusProfile, JoinPlan, Planner
+from repro.engine.result import JoinResult
+from repro.engine.spec import AUTO, VCL, JoinSpec
+from repro.mapreduce.backends import ExecutionBackend, get_backend
+from repro.mapreduce.cluster import Cluster, laptop_cluster
+from repro.mapreduce.costmodel import DEFAULT_COST_PARAMETERS, CostParameters
+from repro.mapreduce.dfs import Dataset
+from repro.mapreduce.runner import PipelineResult
+from repro.serving.bootstrap import multisets_from_input
+from repro.similarity.exact import all_pairs_exact
+from repro.vcl.driver import VCLJoin
+from repro.vsmart.driver import JOINING_ALGORITHMS, VSmartJoin
+
+
+class SimilarityEngine:
+    """A session that plans and executes declarative similarity joins.
+
+    Parameters
+    ----------
+    data:
+        Optional default corpus; :meth:`run` and :meth:`plan` use it when
+        not given one explicitly, so ``SimilarityEngine(corpus)`` followed
+        by ``engine.run(JoinSpec(...))`` reads naturally.
+    cluster:
+        The simulated cluster every run executes on (default: the laptop
+        cluster).  A spec's ``cluster`` field overrides per run.
+    backend:
+        Execution backend name or instance (``"serial"``, ``"thread"``,
+        ``"process"``); instances are borrowed, names are owned and closed
+        by :meth:`close` / the context manager.
+    cost_parameters:
+        Cost-model calibration shared by the planner and the runners.
+    enforce_budgets:
+        Whether per-machine memory/disk budgets abort jobs.
+    """
+
+    def __init__(self, data=None, *,
+                 cluster: Cluster | None = None,
+                 backend: str | ExecutionBackend = "serial",
+                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+                 enforce_budgets: bool = True) -> None:
+        self.data = data
+        self.cluster = cluster or laptop_cluster()
+        self.cost_parameters = cost_parameters
+        self.enforce_budgets = enforce_budgets
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = get_backend(backend)
+        self.planner = Planner(cost_parameters)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's backend when the engine created it."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "SimilarityEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SimilarityEngine(cluster={self.cluster.num_machines} "
+                f"machines, backend={type(self.backend).__name__})")
+
+    # -- planning ------------------------------------------------------------
+
+    def profile(self, data=None) -> CorpusProfile:
+        """Profile a corpus (defaults to the session corpus)."""
+        return CorpusProfile.from_multisets(self._materialise(data))
+
+    def plan(self, spec: JoinSpec | None = None, data=None) -> JoinPlan:
+        """Produce the inspectable :class:`JoinPlan` for ``spec``.
+
+        With ``spec.algorithm="auto"`` every distributed candidate is
+        costed; an explicit algorithm is costed alone.  ``plan.explain()``
+        renders the per-job predicted cost breakdown.
+        """
+        spec = spec or JoinSpec()
+        multisets = self._materialise(data)
+        planner = self._planner_for(spec)
+        return planner.plan(spec, multisets, self._cluster_for(spec),
+                            enforce_budgets=self._enforce_budgets(spec))
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, spec: JoinSpec | None = None, data=None,
+            plan: JoinPlan | None = None) -> JoinResult:
+        """Execute ``spec`` over ``data`` and return the unified result.
+
+        ``algorithm="auto"`` plans first (the plan rides along on
+        ``result.plan``); explicit algorithms skip the planning pass
+        entirely and cost exactly what the legacy drivers cost.  A ``plan``
+        already produced by :meth:`plan` for the same spec is reused
+        instead of re-profiling the corpus.
+        """
+        spec = spec or JoinSpec()
+        multisets = self._materialise(data)
+        algorithm = spec.algorithm
+        if plan is not None:
+            if plan.spec != spec:
+                raise JobConfigurationError(
+                    "the supplied plan was produced for a different JoinSpec;"
+                    " re-plan with engine.plan(spec, data)")
+            algorithm = plan.algorithm
+        elif algorithm == AUTO:
+            planner = self._planner_for(spec)
+            plan = planner.plan(spec, multisets, self._cluster_for(spec),
+                                enforce_budgets=self._enforce_budgets(spec))
+            algorithm = plan.algorithm
+        pairs, pipeline = self._execute(algorithm, spec, multisets)
+        return JoinResult(spec=spec, algorithm=algorithm, pairs=pairs,
+                          pipeline=pipeline, multisets=multisets, plan=plan)
+
+    # -- internals -----------------------------------------------------------
+
+    def _materialise(self, data) -> list[Multiset]:
+        if data is None:
+            if self.data is None:
+                raise JobConfigurationError(
+                    "no corpus: pass data to run()/plan() or construct the "
+                    "engine with a default corpus (SimilarityEngine(data))")
+            # The session corpus is materialised exactly once, so a
+            # one-shot iterator survives plan() followed by run().
+            self.data = multisets_from_input(self.data)
+            return self.data
+        # Always goes through the serving normaliser: it validates record
+        # types (mixed collections raise a ReproError, not a downstream
+        # TypeError) and returns multiset lists unchanged.
+        return multisets_from_input(data)
+
+    def _cluster_for(self, spec: JoinSpec) -> Cluster:
+        return spec.cluster or self.cluster
+
+    def _planner_for(self, spec: JoinSpec) -> Planner:
+        if (spec.cost_parameters is None
+                or spec.cost_parameters is self.cost_parameters):
+            return self.planner
+        return Planner(spec.cost_parameters)
+
+    def _enforce_budgets(self, spec: JoinSpec) -> bool:
+        return (self.enforce_budgets if spec.enforce_budgets is None
+                else spec.enforce_budgets)
+
+    def _run_options(self, spec: JoinSpec) -> dict:
+        return {
+            "cluster": self._cluster_for(spec),
+            "cost_parameters": spec.cost_parameters or self.cost_parameters,
+            "enforce_budgets": self._enforce_budgets(spec),
+        }
+
+    def _execute(self, algorithm: str, spec: JoinSpec,
+                 multisets: list[Multiset]):
+        if algorithm in JOINING_ALGORITHMS:
+            return self._execute_vsmart(algorithm, spec, multisets)
+        if algorithm == VCL:
+            return self._execute_vcl(spec, multisets)
+        return self._execute_sequential(algorithm, spec, multisets)
+
+    def _with_backend(self, spec: JoinSpec):
+        """Resolve the backend for one run: (backend, owned_by_this_run)."""
+        if spec.backend is None:
+            return self.backend, False
+        if isinstance(spec.backend, ExecutionBackend):
+            return spec.backend, False
+        return get_backend(spec.backend), True
+
+    def _execute_vsmart(self, algorithm: str, spec: JoinSpec,
+                        multisets: list[Multiset]):
+        backend, owned = self._with_backend(spec)
+        try:
+            driver = VSmartJoin(spec.vsmart_config(algorithm),
+                                backend=backend, **self._run_options(spec))
+            result = driver.run(multisets)
+        finally:
+            if owned:
+                backend.close()
+        return result.pairs, result.pipeline
+
+    def _execute_vcl(self, spec: JoinSpec, multisets: list[Multiset]):
+        backend, owned = self._with_backend(spec)
+        try:
+            driver = VCLJoin(spec.vcl_config(), backend=backend,
+                             **self._run_options(spec))
+            result = driver.run(multisets)
+        finally:
+            if owned:
+                backend.close()
+        return result.pairs, result.pipeline
+
+    def _execute_sequential(self, algorithm: str, spec: JoinSpec,
+                            multisets: list[Multiset]):
+        measure = spec.resolved_measure()
+        if algorithm == "exact":
+            pairs = all_pairs_exact(multisets, measure, spec.threshold,
+                                    intern=spec.intern)
+        elif algorithm == "inverted_index":
+            joiner = InvertedIndexJoin(
+                measure, spec.threshold,
+                stop_word_frequency=spec.stop_word_frequency)
+            pairs = sorted(joiner.run(multisets))
+        elif algorithm == "ppjoin":
+            pairs = sorted(PPJoin(measure, spec.threshold).run(multisets))
+        elif algorithm == "minhash":
+            joiner = MinHashLSHJoin(measure.name, spec.threshold,
+                                    parameters=spec.minhash_parameters,
+                                    verify_exact=True)
+            pairs = sorted(joiner.run(multisets))
+        else:
+            raise JobConfigurationError(
+                f"algorithm {algorithm!r} has no engine executor")
+        pipeline = PipelineResult(
+            name=algorithm,
+            output=Dataset(f"{algorithm}:pairs", pairs),
+            job_stats=[],
+            artifacts={"algorithm": algorithm, "measure": measure.name,
+                       "threshold": spec.threshold},
+        )
+        return pairs, pipeline
+
+
+def join(data, *, cluster: Cluster | None = None,
+         backend: str | ExecutionBackend = "serial",
+         cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+         enforce_budgets: bool = True, **spec_fields) -> JoinResult:
+    """One-call declarative join: build a spec, run it, return the result.
+
+    The keyword arguments are :class:`~repro.engine.spec.JoinSpec` fields
+    (``measure``, ``threshold``, ``algorithm``, ...)::
+
+        result = join(multisets, measure="ruzicka", threshold=0.5)
+        for pair in result:
+            ...
+
+    A throwaway :class:`SimilarityEngine` session owns the infrastructure
+    for the duration of the call; construct the engine yourself to amortise
+    a backend or plan/inspect before running.
+    """
+    spec = JoinSpec(**spec_fields)
+    with SimilarityEngine(cluster=cluster, backend=backend,
+                          cost_parameters=cost_parameters,
+                          enforce_budgets=enforce_budgets) as engine:
+        return engine.run(spec, data)

@@ -1,0 +1,148 @@
+"""The single result type every engine execution path returns.
+
+Whatever algorithm a :class:`~repro.engine.spec.JoinSpec` resolved to — a
+V-SMART-Join pipeline, the VCL baseline, the exact in-memory join or a
+sequential baseline — the engine hands back one :class:`JoinResult` with a
+uniform surface: lazy pair iteration, the merged pipeline ``counters()``,
+``simulated_seconds`` and per-job ``stats_for()``, plus handoffs into the
+serving subsystem (:meth:`JoinResult.to_index` / :meth:`JoinResult.to_service`)
+and a portable :meth:`JoinResult.to_jsonl` export.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterator
+
+from repro.core.multiset import Multiset
+from repro.core.records import SimilarPair
+from repro.engine.planner import JoinPlan
+from repro.engine.spec import JoinSpec
+from repro.mapreduce.runner import PipelineResult
+from repro.mapreduce.types import JobStats
+
+
+@dataclass
+class JoinResult:
+    """The outcome of one engine run: pairs, statistics and handoffs."""
+
+    spec: JoinSpec
+    #: The concrete algorithm that executed (never ``"auto"``).
+    algorithm: str
+    pairs: list[SimilarPair]
+    pipeline: PipelineResult
+    #: The corpus the join ran over (feeds the serving handoffs).
+    multisets: list[Multiset] = field(default_factory=list, repr=False)
+    #: The plan that chose the algorithm, when one was computed.
+    plan: JoinPlan | None = None
+
+    # -- uniform statistics surface -----------------------------------------
+
+    def __iter__(self) -> Iterator[SimilarPair]:
+        """Iterate the similar pairs lazily, in canonical order."""
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def config(self) -> JoinSpec:
+        """Legacy-compatible alias: consumers of the driver results (for
+        example :func:`repro.serving.bootstrap_from_join`) read
+        ``result.config.measure`` / ``.threshold`` /
+        ``.stop_word_frequency``; the spec carries all three."""
+        return self.spec
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated run time (0.0 for in-memory algorithms)."""
+        return self.pipeline.simulated_seconds
+
+    @property
+    def joining_seconds(self) -> float | None:
+        """Simulated joining-phase time (V-SMART-Join pipelines only)."""
+        return self.pipeline.artifacts.get("joining_seconds")
+
+    @property
+    def similarity_seconds(self) -> float | None:
+        """Simulated similarity-phase time (V-SMART-Join pipelines only)."""
+        return self.pipeline.artifacts.get("similarity_seconds")
+
+    @property
+    def predicted_seconds(self) -> float | None:
+        """The planner's prediction for the executed pipeline, if planned."""
+        return self.plan.predicted_seconds if self.plan is not None else None
+
+    def counters(self) -> dict[str, int]:
+        """All job counters summed over the pipeline (empty if in-memory)."""
+        return self.pipeline.counters()
+
+    def stats_for(self, job_name: str) -> JobStats:
+        """The measured statistics of one pipeline job, by name."""
+        return self.pipeline.stats_for(job_name)
+
+    def job_names(self) -> list[str]:
+        """The executed pipeline's job names, in order."""
+        return [stats.job_name for stats in self.pipeline.job_stats]
+
+    def explain(self) -> str:
+        """The plan explanation, or a one-line summary if nothing was planned."""
+        if self.plan is not None:
+            return self.plan.explain()
+        return (f"JoinResult: algorithm={self.algorithm!r} "
+                f"(explicit; {len(self.pairs)} pairs, "
+                f"{self.simulated_seconds:,.0f} simulated seconds)")
+
+    # -- handoffs ------------------------------------------------------------
+
+    def to_index(self, **index_options):
+        """Build a serving :class:`~repro.serving.index.SimilarityIndex`
+        over the joined corpus (same measure, interning mode inherited)."""
+        from repro.serving.index import SimilarityIndex
+
+        index_options.setdefault("intern", self.spec.intern)
+        index = SimilarityIndex(self.spec.resolved_measure(), **index_options)
+        for multiset in self.multisets:
+            index.add(multiset)
+        return index
+
+    def to_service(self, num_shards: int = 1, **bootstrap_options):
+        """Warm-start a sharded serving fleet from this join's pairs.
+
+        Delegates to :func:`repro.serving.bootstrap_from_join`; the result's
+        pairs seed every member's threshold-query cache.  Joins that ran
+        with stop-word pruning cannot warm caches (their pairs do not match
+        live-query answers) — the bootstrap rejects that, as it always has.
+        """
+        from repro.serving.bootstrap import bootstrap_from_join
+
+        return bootstrap_from_join(self.multisets, self,
+                                   num_shards=num_shards, **bootstrap_options)
+
+    def to_jsonl(self, destination: str | IO[str]) -> int:
+        """Write one JSON object per similar pair; returns the pair count.
+
+        ``destination`` is a path or an open text handle.  Identifiers that
+        are not JSON-representable are rendered through ``repr``.
+        """
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return self.to_jsonl(handle)
+        count = 0
+        for pair in self.pairs:
+            destination.write(json.dumps({
+                "first": _jsonable(pair.first),
+                "second": _jsonable(pair.second),
+                "similarity": pair.similarity,
+            }))
+            destination.write("\n")
+            count += 1
+        return count
+
+
+def _jsonable(identifier: object) -> object:
+    """A JSON-safe rendering of a multiset identifier."""
+    if identifier is None or isinstance(identifier, (str, int, float, bool)):
+        return identifier
+    return repr(identifier)

@@ -1,0 +1,190 @@
+"""The declarative description of a similarity join: :class:`JoinSpec`.
+
+A :class:`JoinSpec` says *what* to compute — the measure, the threshold and
+the tuning knobs — without saying *how*.  The ``algorithm`` field names any
+concrete execution path the engine knows (the three V-SMART-Join joining
+algorithms, the VCL baseline, the exact in-memory join, or one of the
+sequential baselines) or ``"auto"``, in which case the
+:class:`~repro.engine.planner.Planner` inspects the corpus statistics and
+the cost model and picks the distributed algorithm with the lowest
+predicted simulated cost — the way a database optimizer chooses a plan.
+
+Infrastructure (cluster, backend, cost calibration) normally lives on the
+:class:`~repro.engine.engine.SimilarityEngine` session; the corresponding
+``JoinSpec`` fields default to ``None`` ("use the session's") and exist so
+a single spec can carry a complete, reproducible description of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.baselines.minhash import LSHParameters
+from repro.core.exceptions import JobConfigurationError
+from repro.mapreduce.backends import ExecutionBackend
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.costmodel import CostParameters
+from repro.similarity.base import NominalSimilarityMeasure, validate_threshold
+from repro.similarity.registry import get_measure
+from repro.vcl.driver import VCLConfig
+from repro.vsmart.driver import JOINING_ALGORITHMS, VSmartJoinConfig
+
+#: The planner placeholder: let the cost model choose the algorithm.
+AUTO = "auto"
+#: The exact in-memory reference join (quadratic, single machine).
+EXACT = "exact"
+#: The VCL baseline (MapReduce PPJoin+).
+VCL = "vcl"
+
+#: Sequential single-machine baselines runnable through the engine.
+SEQUENTIAL_ALGORITHMS = ("exact", "inverted_index", "ppjoin", "minhash")
+
+#: Algorithms the planner considers for ``algorithm="auto"`` — the paper's
+#: four distributed contenders, all with cost-model-predictable pipelines.
+PLANNABLE_ALGORITHMS = JOINING_ALGORITHMS + (VCL,)
+
+#: Every valid value of :attr:`JoinSpec.algorithm`.
+ENGINE_ALGORITHMS = (AUTO,) + PLANNABLE_ALGORITHMS + SEQUENTIAL_ALGORITHMS
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """The valid values of :attr:`JoinSpec.algorithm`.
+
+    ``"auto"`` delegates the choice to the cost-model planner;
+    ``"online_aggregation"``, ``"lookup"``, ``"sharding"`` and ``"vcl"`` are
+    the distributed MapReduce pipelines; ``"exact"``, ``"inverted_index"``,
+    ``"ppjoin"`` and ``"minhash"`` run sequentially in memory (``minhash``
+    is approximate — every other algorithm is exact).
+    """
+    return ENGINE_ALGORITHMS
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """A declarative all-pair similarity join.
+
+    Parameters
+    ----------
+    measure:
+        Similarity measure name (see :func:`repro.list_measures`) or
+        instance.  Distributed algorithms reject measures that require
+        disjunctive partials; ``algorithm="exact"`` accepts every measure.
+    threshold:
+        Similarity threshold ``t`` in ``(0, 1]``.
+    algorithm:
+        One of :func:`available_algorithms`; ``"auto"`` (the default) lets
+        the planner choose among the distributed algorithms by predicted
+        simulated cost.
+    sharding_threshold:
+        The Sharding parameter ``C`` (multisets with more distinct elements
+        go through the lookup table).
+    stop_word_frequency:
+        Optional ``q``: discard elements shared by more than ``q`` multisets
+        before joining (approximate — may drop pairs).
+    chunk_size:
+        Optional chunked-Similarity1 dissection threshold ``T``.
+    use_combiners:
+        Whether dedicated combiners run in the MapReduce pipelines.
+    intern:
+        Run the pipelines on dense-integer keys (identical output).
+    prune_candidates:
+        Exact upper-bound candidate pruning in Similarity1 (identical
+        output).
+    vcl_element_order:
+        VCL alphabet order, ``"frequency"`` or ``"hash"``.
+    vcl_super_element_groups:
+        VCL super-element grouping (``None`` disables).
+    minhash_parameters:
+        LSH banding for ``algorithm="minhash"`` (``None`` uses the
+        baseline's default banding).
+    cluster / backend / cost_parameters / enforce_budgets:
+        Optional overrides of the engine session's infrastructure; ``None``
+        means "use the session's".
+    """
+
+    measure: str | NominalSimilarityMeasure = "ruzicka"
+    threshold: float = 0.5
+    algorithm: str = AUTO
+    sharding_threshold: int = 1024
+    stop_word_frequency: int | None = None
+    chunk_size: int | None = None
+    use_combiners: bool = True
+    intern: bool = True
+    prune_candidates: bool = True
+    vcl_element_order: str = "frequency"
+    vcl_super_element_groups: int | None = None
+    minhash_parameters: LSHParameters | None = None
+    cluster: Cluster | None = None
+    backend: str | ExecutionBackend | None = None
+    cost_parameters: CostParameters | None = None
+    enforce_budgets: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ENGINE_ALGORITHMS:
+            raise JobConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{ENGINE_ALGORITHMS}")
+        validate_threshold(self.threshold)
+        if self.sharding_threshold < 1:
+            raise JobConfigurationError("sharding_threshold (C) must be >= 1")
+        # Fail fast on VCL-specific knobs (the sub-config re-validates):
+        # under "auto" the planner prices a VCL candidate too, so bad knobs
+        # must not survive until execution time.
+        if self.algorithm in (VCL, AUTO):
+            self.vcl_config()
+
+    # -- resolution helpers -------------------------------------------------
+
+    def resolved_measure(self) -> NominalSimilarityMeasure:
+        """Resolve the measure, validating distributed-path support.
+
+        Sequential algorithms (``"exact"`` and friends) work with any
+        registered measure; the MapReduce paths require the paper's
+        unilateral/conjunctive decomposition.
+        """
+        measure = get_measure(self.measure)
+        if self.algorithm not in SEQUENTIAL_ALGORITHMS:
+            measure.check_supported()
+        return measure
+
+    def vsmart_config(self, algorithm: str | None = None) -> VSmartJoinConfig:
+        """The :class:`VSmartJoinConfig` equivalent of this spec.
+
+        ``algorithm`` overrides the spec's own (used by the planner, which
+        resolves ``"auto"`` to a concrete joining algorithm).
+        """
+        resolved = algorithm or self.algorithm
+        if resolved not in JOINING_ALGORITHMS:
+            raise JobConfigurationError(
+                f"{resolved!r} is not a V-SMART-Join joining algorithm")
+        return VSmartJoinConfig(
+            algorithm=resolved,
+            measure=self.measure,
+            threshold=self.threshold,
+            sharding_threshold=self.sharding_threshold,
+            stop_word_frequency=self.stop_word_frequency,
+            chunk_size=self.chunk_size,
+            use_combiners=self.use_combiners,
+            intern=self.intern,
+            prune_candidates=self.prune_candidates,
+        )
+
+    def vcl_config(self) -> VCLConfig:
+        """The :class:`VCLConfig` equivalent of this spec."""
+        return VCLConfig(
+            measure=self.measure,
+            threshold=self.threshold,
+            element_order=self.vcl_element_order,
+            super_element_groups=self.vcl_super_element_groups,
+            intern=self.intern,
+        )
+
+    def describe(self) -> dict[str, object]:
+        """A plain-dict rendering of the spec (measure resolved to its name)."""
+        described: dict[str, object] = {}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if field.name == "measure":
+                value = get_measure(value).name
+            described[field.name] = value
+        return described

@@ -8,7 +8,8 @@ covers both halves:
 * the *index* is built from the dataset itself — a pipeline
   :class:`~repro.mapreduce.dfs.Dataset` of raw input tuples, raw
   :class:`~repro.core.records.InputTuple` records, or assembled multisets;
-* when a :class:`~repro.vsmart.driver.VSmartJoinResult` is supplied, the
+* when a join result (a :class:`~repro.vsmart.driver.VSmartJoinResult` or
+  an engine :class:`~repro.engine.result.JoinResult`) is supplied, the
   node caches are *warmed* from its similar pairs: for every indexed member
   the threshold-query answer at the join threshold is already known (its
   join partners, plus itself), so member queries hit the cache without ever
@@ -33,7 +34,11 @@ from repro.serving.index import QueryMatch, sort_matches
 from repro.serving.service import ShardedSimilarityService
 from repro.similarity.base import NominalSimilarityMeasure
 from repro.similarity.registry import get_measure
-from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig, VSmartJoinResult
+# A "join result" here is duck-typed: a batch
+# :class:`~repro.vsmart.driver.VSmartJoinResult`, an engine
+# :class:`~repro.engine.result.JoinResult`, or anything shaped like them
+# (``.pairs`` plus ``.config`` carrying measure / threshold /
+# stop_word_frequency).
 
 
 def multisets_from_input(
@@ -66,7 +71,7 @@ def _is_serial_backend(backend: str | ExecutionBackend) -> bool:
 
 def bootstrap_from_join(
         data: Iterable[Multiset] | Dataset | Sequence[InputTuple] | Mapping,
-        join_result: VSmartJoinResult | None = None,
+        join_result: object | None = None,
         *, measure: str | NominalSimilarityMeasure | None = None,
         threshold: float | None = None,
         num_shards: int = 1,
@@ -87,12 +92,17 @@ def bootstrap_from_join(
     the LRU silently evict most of it.
 
     With ``run_join=True`` the batch join is executed right here instead of
-    being supplied: the V-SMART-Join pipeline (``join_algorithm``, on
-    ``cluster`` or the default laptop cluster) computes the similar pairs at
-    ``threshold`` and the caches are warmed from them.  ``backend`` selects
-    the pipeline's execution backend (``"serial"``, ``"thread"``,
+    being supplied: the engine runs ``join_algorithm`` — any engine
+    algorithm, including ``"auto"`` to let the cost-model planner choose —
+    on ``cluster`` (or the default laptop cluster), computes the similar
+    pairs at ``threshold`` and warms the caches from them.  ``backend``
+    selects the pipeline's execution backend (``"serial"``, ``"thread"``,
     ``"process"`` or a backend instance), so a fleet can be warm-started on
     all cores before serving traffic.
+
+    ``join_result`` accepts a legacy
+    :class:`~repro.vsmart.driver.VSmartJoinResult` or an engine
+    :class:`~repro.engine.result.JoinResult` interchangeably.
     """
     # Materialise the input exactly once: `data` may be a one-shot iterator,
     # and both the optional inline join and the index build consume it.
@@ -105,11 +115,20 @@ def bootstrap_from_join(
         if threshold is None:
             raise ServingError(
                 "run_join=True needs the join threshold; pass threshold=")
-        config = VSmartJoinConfig(algorithm=join_algorithm,
-                                  measure=measure or "ruzicka",
-                                  threshold=threshold)
-        with VSmartJoin(config, cluster=cluster, backend=backend) as join:
-            join_result = join.run(multisets)
+        if join_algorithm == "minhash":
+            raise ServingError(
+                "cannot warm caches from an approximate minhash join: "
+                "banding can miss true pairs; pick an exact algorithm "
+                "(or \"auto\")")
+        # Imported here: the engine package imports this module's input
+        # normaliser, so the dependency must stay one-way at import time.
+        from repro.engine.engine import SimilarityEngine
+        from repro.engine.spec import JoinSpec
+
+        spec = JoinSpec(algorithm=join_algorithm,
+                        measure=measure or "ruzicka", threshold=threshold)
+        with SimilarityEngine(cluster=cluster, backend=backend) as engine:
+            join_result = engine.run(spec, multisets)
     elif not _is_serial_backend(backend):
         raise ServingError(
             "backend= only selects where the batch join runs; "
@@ -128,11 +147,17 @@ def bootstrap_from_join(
             raise ServingError(
                 f"bootstrap threshold {threshold!r} does not match the "
                 f"join's threshold {join_result.config.threshold!r}")
-        if join_result.config.stop_word_frequency is not None:
+        if getattr(join_result.config, "stop_word_frequency", None) is not None:
             raise ServingError(
                 "cannot warm caches from a join that discarded stop words: "
                 "its pairs were computed on filtered data and would not "
                 "match live query results")
+        if getattr(join_result, "algorithm", None) == "minhash":
+            raise ServingError(
+                "cannot warm caches from an approximate minhash join: "
+                "banding can miss true pairs, so the warmed answers would "
+                "not match what live queries compute once the cache is "
+                "invalidated")
         if stop_word_frequency is not None:
             raise ServingError(
                 "cannot warm caches for an index with stop-word pruning: "
@@ -169,7 +194,7 @@ def bootstrap_from_join(
 
 def _warm_from_pairs(service: ShardedSimilarityService,
                      multisets: Sequence[Multiset],
-                     join_result: VSmartJoinResult,
+                     join_result: object,
                      threshold: float) -> None:
     """Seed every shard's cache with the join's per-member answers."""
     resolved = service.measure

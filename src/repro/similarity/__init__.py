@@ -41,6 +41,7 @@ from repro.similarity.registry import (
     available_measures,
     get_measure,
     iter_measures,
+    list_measures,
     register_measure,
     supported_measures,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "interned_similarity",
     "interned_unilateral",
     "iter_measures",
+    "list_measures",
     "merge_uni",
     "uni_kernel_kind",
     "pair_dictionary",

@@ -69,6 +69,19 @@ def available_measures() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def list_measures(supported_only: bool = False) -> list[str]:
+    """The measure names a :class:`~repro.engine.spec.JoinSpec` accepts.
+
+    The discovery companion of
+    :func:`~repro.engine.spec.available_algorithms`: with
+    ``supported_only=True`` only measures the distributed MapReduce
+    pipelines can compute are returned (measures requiring disjunctive
+    partials are excluded, matching the paper's scope); the default lists
+    every registered measure (``algorithm="exact"`` accepts them all).
+    """
+    return supported_measures() if supported_only else available_measures()
+
+
 def supported_measures() -> list[str]:
     """Return the names of measures usable by the MapReduce drivers.
 

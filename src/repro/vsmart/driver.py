@@ -327,19 +327,36 @@ def vsmart_join(multisets: Iterable[Multiset],
                 enforce_budgets: bool = True,
                 backend: str | ExecutionBackend = "serial",
                 **config_overrides) -> list[SimilarPair]:
-    """One-call API: return all pairs of multisets with similarity >= threshold.
+    """Deprecated one-call API; use :func:`repro.join` / the engine instead.
 
-    This is the function the quickstart example uses.  For access to the
-    simulated run times and per-job statistics, use :class:`VSmartJoin`;
-    ``cost_parameters``, ``enforce_budgets`` and ``backend`` are forwarded
-    to it so the cost-model calibration, budget enforcement and the parallel
-    execution backends are reachable from the one-call API too.  Backends
-    created here from a name are closed before returning; backend instances
-    are left open for reuse.
+    .. deprecated:: 1.3
+        ``vsmart_join(...)`` is superseded by the unified engine::
+
+            repro.join(multisets, measure=..., threshold=...,
+                       algorithm=...).pairs
+
+        The shim delegates to :class:`~repro.engine.engine.SimilarityEngine`
+        with the equivalent :class:`~repro.engine.spec.JoinSpec`, which
+        executes through this module's :class:`VSmartJoin` — the returned
+        pairs are bit-identical to a direct driver call.
     """
-    config = VSmartJoinConfig(algorithm=algorithm, measure=measure,
-                              threshold=threshold, **config_overrides)
-    join = VSmartJoin(config, cluster=cluster, cost_parameters=cost_parameters,
-                      enforce_budgets=enforce_budgets, backend=backend)
-    with join:
-        return join.run(multisets).pairs
+    import warnings
+
+    warnings.warn(
+        "vsmart_join() is deprecated; use repro.join(data, algorithm=..., "
+        "...) or SimilarityEngine.run(JoinSpec(...)) instead",
+        DeprecationWarning, stacklevel=2)
+    if algorithm not in JOINING_ALGORITHMS:
+        # Preserve the historical contract: this function only ever ran
+        # the V-SMART-Join joining algorithms.
+        raise JobConfigurationError(
+            f"unknown joining algorithm {algorithm!r}; "
+            f"expected one of {JOINING_ALGORITHMS}")
+    from repro.engine.engine import join as engine_join
+
+    result = engine_join(multisets, cluster=cluster,
+                         cost_parameters=cost_parameters,
+                         enforce_budgets=enforce_budgets, backend=backend,
+                         measure=measure, threshold=threshold,
+                         algorithm=algorithm, **config_overrides)
+    return result.pairs

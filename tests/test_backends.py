@@ -29,7 +29,7 @@ from repro.mapreduce import (
 from repro.mapreduce.backends import default_worker_count
 from repro.mapreduce.cluster import laptop_cluster
 from repro.similarity.registry import supported_measures
-from repro.vcl.driver import vcl_join
+from repro.engine.engine import join
 from repro.vsmart.driver import (
     JOINING_ALGORITHMS,
     VSmartJoin,
@@ -185,10 +185,12 @@ class TestJoinParity:
         # The VCL kernel mapper carries a rank function as state; this is the
         # pickling-sensitive path the vsmart pipelines never exercise.
         corpus = small_corpus()
-        base = vcl_join(corpus, threshold=0.3, element_order=element_order)
+        base = join(corpus, threshold=0.3, algorithm="vcl",
+                    vcl_element_order=element_order).pairs
         for backend in (thread_backend, process_backend):
-            pairs = vcl_join(corpus, threshold=0.3, element_order=element_order,
-                             backend=backend)
+            pairs = join(corpus, threshold=0.3, algorithm="vcl",
+                         vcl_element_order=element_order,
+                         backend=backend).pairs
             assert pairs == base, backend.name
 
 

@@ -1,0 +1,629 @@
+"""Tests for the unified engine API (`repro.engine`).
+
+Covers the declarative :class:`JoinSpec`, the cost-model planner (choice,
+feasibility exclusions, explain rendering), the :class:`SimilarityEngine`
+execution paths — property-tested for bit-identical parity with the legacy
+entry points across measures, algorithms and backends — the uniform
+:class:`JoinResult` surface with its serving handoffs, and the deprecated
+``vsmart_join`` / ``vcl_join`` shims.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    JoinSpec,
+    SimilarityEngine,
+    available_algorithms,
+    join,
+    list_measures,
+    vcl_join,
+    vsmart_join,
+)
+from repro.analysis.calibration import (
+    paper_scale_cluster,
+    paper_scale_cost_parameters,
+)
+from repro.analysis.experiments import run_algorithm
+from repro.baselines.inverted_index import InvertedIndexJoin
+from repro.baselines.ppjoin import PPJoin
+from repro.core.exceptions import (
+    JobConfigurationError,
+    JobTimeoutError,
+    MemoryBudgetExceeded,
+)
+from repro.datasets.ip_cookie import IPCookieConfig, generate_ip_cookie_dataset
+from repro.engine.planner import CorpusProfile, Planner
+from repro.engine.spec import PLANNABLE_ALGORITHMS, SEQUENTIAL_ALGORITHMS
+from repro.mapreduce.cluster import HADOOP, laptop_cluster
+from repro.mapreduce.costmodel import CostParameters
+from repro.serving.index import SimilarityIndex
+from repro.similarity.exact import all_pairs_exact
+from repro.similarity.registry import supported_measures
+from repro.vcl.driver import VCLConfig, VCLJoin
+from repro.vsmart.driver import JOINING_ALGORITHMS, VSmartJoin, VSmartJoinConfig
+from tests.conftest import make_random_multisets
+
+
+def skewed_corpus():
+    """A Zipf-skewed IP/cookie corpus with planted proxy groups."""
+    return generate_ip_cookie_dataset(IPCookieConfig(
+        num_ips=150, num_cookies=800, max_cookies_per_ip=120,
+        min_cookies_per_ip=3, num_proxy_groups=6, ips_per_proxy_group=5,
+        cookies_per_proxy_pool=30, proxy_cookie_affinity=0.9,
+        seed=42)).multisets
+
+
+def uniform_corpus():
+    """A flat random corpus: no hot elements, no giant multisets."""
+    return make_random_multisets(120, alphabet_size=400, max_elements=30,
+                                 seed=11)
+
+
+class TestJoinSpec:
+    def test_defaults_plan_automatically(self):
+        spec = JoinSpec()
+        assert spec.algorithm == "auto"
+        assert spec.measure == "ruzicka"
+        assert spec.threshold == 0.5
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(JobConfigurationError, match="magic"):
+            JoinSpec(algorithm="magic")
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            JoinSpec(threshold=0.0)
+
+    def test_invalid_sharding_parameter_rejected(self):
+        with pytest.raises(JobConfigurationError):
+            JoinSpec(sharding_threshold=0)
+
+    def test_vcl_knobs_validated_eagerly(self):
+        with pytest.raises(JobConfigurationError):
+            JoinSpec(algorithm="vcl", vcl_element_order="alphabetical")
+
+    def test_vcl_knobs_validated_under_auto_too(self):
+        # "auto" prices a VCL candidate, so bad knobs must fail at
+        # construction, not after the whole planning pass.
+        with pytest.raises(JobConfigurationError):
+            JoinSpec(vcl_element_order="alphabetical")
+
+    def test_vsmart_config_round_trip(self):
+        spec = JoinSpec(algorithm="lookup", threshold=0.4, chunk_size=8,
+                        intern=False)
+        config = spec.vsmart_config()
+        assert config == VSmartJoinConfig(algorithm="lookup", threshold=0.4,
+                                          chunk_size=8, intern=False)
+
+    def test_vsmart_config_rejects_non_joining_algorithm(self):
+        with pytest.raises(JobConfigurationError):
+            JoinSpec(algorithm="vcl").vsmart_config()
+
+    def test_vcl_config_round_trip(self):
+        spec = JoinSpec(algorithm="vcl", threshold=0.3,
+                        vcl_element_order="hash", intern=False)
+        assert spec.vcl_config() == VCLConfig(threshold=0.3,
+                                              element_order="hash",
+                                              intern=False)
+
+    def test_describe_resolves_measure_name(self):
+        from repro.similarity.measures import JaccardSimilarity
+        described = JoinSpec(measure=JaccardSimilarity()).describe()
+        assert described["measure"] == "jaccard"
+        assert described["algorithm"] == "auto"
+
+
+class TestDiscovery:
+    def test_available_algorithms_cover_every_execution_path(self):
+        algorithms = available_algorithms()
+        assert algorithms[0] == "auto"
+        for name in PLANNABLE_ALGORITHMS + SEQUENTIAL_ALGORITHMS:
+            assert name in algorithms
+
+    def test_every_advertised_algorithm_is_accepted_by_joinspec(self):
+        for name in available_algorithms():
+            JoinSpec(algorithm=name)  # must not raise
+
+    def test_list_measures_matches_registry(self):
+        measures = list_measures()
+        assert "ruzicka" in measures and "direct_ruzicka" in measures
+        supported = list_measures(supported_only=True)
+        assert "direct_ruzicka" not in supported
+        assert set(supported) < set(measures)
+
+    def test_every_supported_measure_is_accepted_by_joinspec(self):
+        for name in list_measures(supported_only=True):
+            JoinSpec(measure=name).resolved_measure()
+
+
+class TestEngineParity:
+    """Engine output must be bit-identical to the legacy entry points."""
+
+    @pytest.mark.parametrize("measure", supported_measures())
+    @pytest.mark.parametrize("algorithm", JOINING_ALGORITHMS)
+    def test_vsmart_parity_per_measure(self, measure, algorithm,
+                                       small_multisets, test_cluster):
+        spec = JoinSpec(measure=measure, threshold=0.3, algorithm=algorithm,
+                        sharding_threshold=10)
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(spec, small_multisets)
+        legacy = VSmartJoin(spec.vsmart_config(),
+                            cluster=test_cluster).run(small_multisets)
+        assert result.pairs == legacy.pairs
+
+    @pytest.mark.parametrize("measure", ["ruzicka", "jaccard", "cosine"])
+    def test_vcl_parity_per_measure(self, measure, small_multisets,
+                                    test_cluster):
+        spec = JoinSpec(measure=measure, threshold=0.3, algorithm="vcl")
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(spec, small_multisets)
+        legacy = VCLJoin(spec.vcl_config(),
+                         cluster=test_cluster).run(small_multisets)
+        assert result.pairs == legacy.pairs
+
+    def test_exact_parity(self, small_multisets, test_cluster):
+        spec = JoinSpec(threshold=0.3, algorithm="exact")
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(spec, small_multisets)
+        assert result.pairs == all_pairs_exact(small_multisets, "ruzicka",
+                                               0.3)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backend_parity(self, backend, small_multisets, test_cluster):
+        spec = JoinSpec(threshold=0.3)
+        with SimilarityEngine(cluster=test_cluster,
+                              backend=backend) as engine:
+            result = engine.run(
+                JoinSpec(threshold=0.3, algorithm="online_aggregation"),
+                small_multisets)
+        serial = VSmartJoin(spec.vsmart_config("online_aggregation"),
+                            cluster=test_cluster).run(small_multisets)
+        assert result.pairs == serial.pairs
+        assert result.counters() == serial.pipeline.counters()
+        assert result.simulated_seconds == serial.simulated_seconds
+
+    def test_sequential_baselines_find_the_exact_pairs(self, small_multisets,
+                                                       test_cluster):
+        expected = {p.pair for p in all_pairs_exact(small_multisets,
+                                                    "ruzicka", 0.3)}
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            for algorithm in ("inverted_index", "ppjoin"):
+                result = engine.run(JoinSpec(threshold=0.3,
+                                             algorithm=algorithm),
+                                    small_multisets)
+                assert {p.pair for p in result.pairs} == expected, algorithm
+
+    def test_inverted_index_parity_with_direct_call(self, small_multisets,
+                                                    test_cluster):
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(
+                JoinSpec(threshold=0.3, algorithm="inverted_index",
+                         stop_word_frequency=12), small_multisets)
+        direct = InvertedIndexJoin("ruzicka", 0.3, stop_word_frequency=12)
+        assert result.pairs == sorted(direct.run(small_multisets))
+
+    def test_ppjoin_parity_with_direct_call(self, small_multisets,
+                                            test_cluster):
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(JoinSpec(threshold=0.4, algorithm="ppjoin"),
+                                small_multisets)
+        assert result.pairs == sorted(PPJoin("ruzicka", 0.4)
+                                      .run(small_multisets))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           measure=st.sampled_from(sorted(supported_measures())),
+           algorithm=st.sampled_from(JOINING_ALGORITHMS + ("vcl", "exact")),
+           backend=st.sampled_from(["serial", "thread"]),
+           threshold=st.sampled_from([0.2, 0.5, 0.8]),
+           intern=st.booleans())
+    def test_property_engine_equals_legacy(self, seed, measure, algorithm,
+                                           backend, threshold, intern):
+        multisets = make_random_multisets(10, alphabet_size=14,
+                                          max_elements=8, seed=seed)
+        cluster = laptop_cluster(num_machines=3)
+        spec = JoinSpec(measure=measure, threshold=threshold,
+                        algorithm=algorithm, sharding_threshold=4,
+                        intern=intern)
+        with SimilarityEngine(cluster=cluster, backend=backend) as engine:
+            result = engine.run(spec, multisets)
+        if algorithm == "exact":
+            legacy_pairs = all_pairs_exact(multisets, measure, threshold,
+                                           intern=intern)
+        elif algorithm == "vcl":
+            legacy_pairs = VCLJoin(spec.vcl_config(), cluster=cluster,
+                                   backend=backend).run(multisets).pairs
+        else:
+            legacy_pairs = VSmartJoin(spec.vsmart_config(), cluster=cluster,
+                                      backend=backend).run(multisets).pairs
+        assert result.pairs == legacy_pairs
+
+
+class TestPlanner:
+    @pytest.fixture(scope="class")
+    def paper_engine(self):
+        return SimilarityEngine(cluster=paper_scale_cluster(500),
+                                cost_parameters=paper_scale_cost_parameters())
+
+    @pytest.mark.parametrize("corpus_builder", [skewed_corpus, uniform_corpus],
+                             ids=["skewed", "uniform"])
+    def test_auto_picks_the_measured_fastest_algorithm(self, corpus_builder,
+                                                       paper_engine):
+        multisets = corpus_builder()
+        spec = JoinSpec(threshold=0.5, sharding_threshold=64)
+        plan = paper_engine.plan(spec, multisets)
+        measured = {}
+        for algorithm in PLANNABLE_ALGORITHMS:
+            explicit = JoinSpec(threshold=0.5, sharding_threshold=64,
+                                algorithm=algorithm)
+            measured[algorithm] = paper_engine.run(
+                explicit, multisets).simulated_seconds
+        fastest = min(measured, key=measured.get)
+        assert plan.algorithm == fastest, (plan.algorithm, measured)
+
+    def test_auto_result_carries_the_plan(self, paper_engine):
+        multisets = uniform_corpus()
+        result = paper_engine.run(JoinSpec(threshold=0.5), multisets)
+        assert result.plan is not None
+        assert result.algorithm == result.plan.algorithm
+        assert result.algorithm in PLANNABLE_ALGORITHMS
+        assert result.predicted_seconds == result.plan.predicted_seconds
+
+    def test_prediction_is_calibrated_within_a_factor_of_two(self,
+                                                             paper_engine):
+        multisets = skewed_corpus()
+        spec = JoinSpec(threshold=0.5, sharding_threshold=64)
+        plan = paper_engine.plan(spec, multisets)
+        executed = paper_engine.run(
+            JoinSpec(threshold=0.5, sharding_threshold=64,
+                     algorithm=plan.algorithm), multisets)
+        ratio = plan.predicted_seconds / executed.simulated_seconds
+        assert 0.5 <= ratio <= 2.0, ratio
+
+    def test_hadoop_profile_excludes_online_aggregation(self):
+        engine = SimilarityEngine(
+            cluster=paper_scale_cluster(500, profile=HADOOP),
+            cost_parameters=paper_scale_cost_parameters())
+        plan = engine.plan(JoinSpec(threshold=0.5), uniform_corpus())
+        assert plan.algorithm != "online_aggregation"
+        excluded = plan.candidate_for("online_aggregation")
+        assert not excluded.feasible
+        assert "secondary keys" in excluded.exclusion_reason
+
+    def test_memory_budget_excludes_lookup_side_data(self):
+        # A budget big enough for the pipelines' groups but far too small
+        # for a whole-corpus lookup table — the paper's section 7.2 failure.
+        multisets = skewed_corpus()
+        cluster = paper_scale_cluster(500).with_memory(4_000)
+        engine = SimilarityEngine(cluster=cluster,
+                                  cost_parameters=paper_scale_cost_parameters())
+        plan = engine.plan(JoinSpec(threshold=0.5, sharding_threshold=64),
+                           multisets)
+        lookup = plan.candidate_for("lookup")
+        assert not lookup.feasible
+        assert "side data" in lookup.exclusion_reason
+        assert plan.algorithm != "lookup"
+
+    def test_budget_exclusions_lift_with_enforce_budgets_off(self):
+        multisets = skewed_corpus()
+        cluster = paper_scale_cluster(500).with_memory(4_000)
+        planner = Planner(paper_scale_cost_parameters())
+        relaxed = planner.plan(JoinSpec(threshold=0.5, sharding_threshold=64),
+                               multisets, cluster, enforce_budgets=False)
+        assert relaxed.candidate_for("lookup").feasible
+
+    def test_scheduler_limit_excludes_slow_pipelines(self, paper_engine):
+        multisets = skewed_corpus()
+        cluster = paper_scale_cluster(500).with_scheduler_limit(40.0)
+        planner = Planner(paper_scale_cost_parameters())
+        plan = planner.plan(JoinSpec(threshold=0.5, sharding_threshold=64),
+                            multisets, cluster)
+        vcl = plan.candidate_for("vcl")
+        assert not vcl.feasible
+        assert "scheduler limit" in vcl.exclusion_reason
+
+    def test_explicit_algorithm_plans_a_single_candidate(self, paper_engine):
+        plan = paper_engine.plan(JoinSpec(threshold=0.5, algorithm="lookup"),
+                                 uniform_corpus())
+        assert plan.algorithm == "lookup"
+        assert len(plan.candidates) == 1
+        assert "explicitly" in plan.reason
+
+    def test_explain_renders_candidates_and_job_breakdown(self, paper_engine):
+        plan = paper_engine.plan(JoinSpec(threshold=0.5), uniform_corpus())
+        rendered = plan.explain()
+        assert "candidates (cheapest first):" in rendered
+        for algorithm in PLANNABLE_ALGORITHMS:
+            assert algorithm in rendered
+        for column in ("overhead", "side", "shuffle", "reduce"):
+            assert column in rendered
+        # Every job of the chosen pipeline appears as a row.
+        for job in plan.chosen.jobs:
+            assert job.name in rendered
+
+    def test_profile_statistics(self):
+        multisets = uniform_corpus()
+        profile = CorpusProfile.from_multisets(multisets)
+        assert profile.num_multisets == len(multisets)
+        assert profile.num_records == sum(m.underlying_cardinality
+                                          for m in multisets)
+        assert profile.max_cardinality == max(m.underlying_cardinality
+                                              for m in multisets)
+        assert profile.candidate_records > 0
+        assert profile.element_skew >= 1.0
+
+    def test_session_corpus_iterator_is_materialised_once(self,
+                                                          overlapping_multisets,
+                                                          test_cluster):
+        # A one-shot iterator as the session corpus must survive
+        # plan() followed by run().
+        engine = SimilarityEngine(iter(overlapping_multisets),
+                                  cluster=test_cluster)
+        with engine:
+            plan = engine.plan(JoinSpec(threshold=0.8))
+            result = engine.run(JoinSpec(threshold=0.8), plan=plan)
+        assert plan.profile.num_multisets == len(overlapping_multisets)
+        assert {p.pair for p in result} == {("a", "b"), ("d", "e")}
+
+    def test_sequential_algorithms_are_never_planned_infeasible(
+            self, small_multisets):
+        # In-memory algorithms ignore the simulated cluster's scheduler
+        # and budgets, so the planner must not exclude them either.
+        cluster = laptop_cluster().with_scheduler_limit(0.001).with_memory(500)
+        with SimilarityEngine(cluster=cluster) as engine:
+            plan = engine.plan(JoinSpec(threshold=0.3, algorithm="exact"),
+                               small_multisets)
+            assert plan.candidates[0].feasible
+            result = engine.run(JoinSpec(threshold=0.3, algorithm="exact"),
+                                small_multisets, plan=plan)
+        assert result.pairs
+
+    def test_mixed_record_types_rejected_at_the_front_door(self,
+                                                           test_cluster):
+        from repro.core.exceptions import ReproError
+        from repro.core.records import InputTuple
+        from repro.core.multiset import Multiset
+
+        mixed = [Multiset("a", {"x": 1}), InputTuple("b", "x", 1)]
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            with pytest.raises(ReproError, match="mixed"):
+                engine.run(JoinSpec(algorithm="exact"), mixed)
+
+    def test_minhash_parameters_reach_the_baseline(self, small_multisets,
+                                                   test_cluster):
+        from repro.baselines.minhash import LSHParameters, MinHashLSHJoin
+
+        parameters = LSHParameters(num_bands=16, rows_per_band=4)
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(
+                JoinSpec(threshold=0.3, algorithm="minhash",
+                         minhash_parameters=parameters), small_multisets)
+        direct = MinHashLSHJoin("ruzicka", 0.3, parameters=parameters,
+                                verify_exact=True)
+        assert result.pairs == sorted(direct.run(small_multisets))
+
+    def test_empty_corpus_still_plans(self, test_cluster):
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(JoinSpec(threshold=0.5), [])
+        assert result.pairs == []
+        assert result.plan is not None
+
+    def test_run_reuses_a_supplied_plan(self, paper_engine):
+        multisets = uniform_corpus()
+        spec = JoinSpec(threshold=0.5)
+        plan = paper_engine.plan(spec, multisets)
+        result = paper_engine.run(spec, multisets, plan=plan)
+        assert result.plan is plan
+        assert result.algorithm == plan.algorithm
+
+    def test_run_rejects_a_plan_for_a_different_spec(self, paper_engine):
+        multisets = uniform_corpus()
+        plan = paper_engine.plan(JoinSpec(threshold=0.5), multisets)
+        with pytest.raises(JobConfigurationError, match="different JoinSpec"):
+            paper_engine.run(JoinSpec(threshold=0.6), multisets, plan=plan)
+
+    def test_engine_forwards_enforce_budgets_to_the_planner(self):
+        # With budgets off at the session level, the planner must not
+        # exclude lookup for its table size either (the runner would not).
+        multisets = skewed_corpus()
+        cluster = paper_scale_cluster(500).with_memory(4_000)
+        engine = SimilarityEngine(cluster=cluster,
+                                  cost_parameters=paper_scale_cost_parameters(),
+                                  enforce_budgets=False)
+        plan = engine.plan(JoinSpec(threshold=0.5, sharding_threshold=64),
+                           multisets)
+        assert plan.candidate_for("lookup").feasible
+
+
+class TestJoinResult:
+    @pytest.fixture(scope="class")
+    def distributed_result(self):
+        with SimilarityEngine(cluster=laptop_cluster(6)) as engine:
+            return engine.run(JoinSpec(threshold=0.25,
+                                       algorithm="online_aggregation"),
+                              make_random_multisets(25, alphabet_size=40,
+                                                    max_elements=15, seed=5))
+
+    def test_iteration_and_len(self, distributed_result):
+        assert list(distributed_result) == distributed_result.pairs
+        assert len(distributed_result) == len(distributed_result.pairs)
+
+    def test_uniform_statistics_surface(self, distributed_result):
+        assert distributed_result.simulated_seconds > 0
+        assert distributed_result.joining_seconds > 0
+        assert distributed_result.similarity_seconds > 0
+        assert distributed_result.counters()["similarity2/pairs_evaluated"] > 0
+        assert distributed_result.stats_for(
+            "online_aggregation").simulated_seconds > 0
+        assert distributed_result.job_names()[0] == "online_aggregation"
+
+    def test_sequential_results_share_the_surface(self, overlapping_multisets,
+                                                  test_cluster):
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(JoinSpec(threshold=0.8, algorithm="exact"),
+                                overlapping_multisets)
+        assert result.simulated_seconds == 0.0
+        assert result.counters() == {}
+        assert result.joining_seconds is None
+        assert {p.pair for p in result} == {("a", "b"), ("d", "e")}
+
+    def test_vcl_result_has_no_phase_split(self, overlapping_multisets,
+                                           test_cluster):
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            result = engine.run(JoinSpec(threshold=0.8, algorithm="vcl"),
+                                overlapping_multisets)
+        assert result.joining_seconds is None
+        assert result.simulated_seconds > 0
+
+    def test_to_jsonl(self, distributed_result, tmp_path):
+        path = tmp_path / "pairs.jsonl"
+        written = distributed_result.to_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert written == len(distributed_result.pairs) == len(lines)
+        first = json.loads(lines[0])
+        assert set(first) == {"first", "second", "similarity"}
+
+    def test_to_jsonl_accepts_a_handle(self, distributed_result):
+        buffer = io.StringIO()
+        distributed_result.to_jsonl(buffer)
+        assert buffer.getvalue().count("\n") == len(distributed_result.pairs)
+
+    def test_to_index_builds_a_queryable_index(self, distributed_result):
+        index = distributed_result.to_index()
+        assert isinstance(index, SimilarityIndex)
+        assert len(index) == len(distributed_result.multisets)
+        member = distributed_result.multisets[0]
+        matches = index.query_threshold(member, threshold=0.25)
+        partners = {m.multiset_id for m in matches} - {member.id}
+        expected = {pair.second for pair in distributed_result.pairs
+                    if pair.first == member.id}
+        expected |= {pair.first for pair in distributed_result.pairs
+                     if pair.second == member.id}
+        assert partners == expected
+
+    def test_to_service_warms_caches_from_the_join(self, distributed_result):
+        service = distributed_result.to_service(num_shards=2)
+        member_id = distributed_result.pairs[0].first
+        matches = service.neighbours(member_id, 0.25)
+        assert service.stats()["cache/hits"] > 0
+        partner_ids = {m.multiset_id for m in matches}
+        assert distributed_result.pairs[0].second in partner_ids
+
+    def test_explain_without_a_plan_summarises(self, distributed_result):
+        assert "explicit" in distributed_result.explain()
+
+    def test_minhash_results_cannot_warm_serving_caches(
+            self, small_multisets, test_cluster):
+        # Banding can miss true pairs, so warmed answers could disagree
+        # with live queries — the bootstrap must refuse, like it does for
+        # stop-word joins.
+        from repro.core.exceptions import ServingError
+
+        with SimilarityEngine(cluster=test_cluster) as engine:
+            approximate = engine.run(
+                JoinSpec(threshold=0.3, algorithm="minhash"),
+                small_multisets)
+        with pytest.raises(ServingError, match="minhash"):
+            approximate.to_service(num_shards=2)
+
+
+class TestRunAlgorithmOnEngine:
+    def test_auto_is_accepted_and_reports_the_resolved_algorithm(
+            self, small_multisets, test_cluster):
+        outcome = run_algorithm("auto", small_multisets, threshold=0.4,
+                                cluster=test_cluster)
+        assert outcome.finished
+        assert outcome.algorithm in PLANNABLE_ALGORITHMS
+
+    def test_sequential_algorithms_are_accepted(self, small_multisets):
+        outcome = run_algorithm("exact", small_multisets, threshold=0.4)
+        assert outcome.finished
+        assert outcome.simulated_seconds == 0.0
+
+    def test_unknown_algorithm_rejected(self, small_multisets):
+        with pytest.raises(ValueError, match="magic"):
+            run_algorithm("magic", small_multisets)
+
+
+@pytest.mark.filterwarnings("default::DeprecationWarning")
+class TestDeprecatedShims:
+    """The dedicated shim tests: the only place the legacy calls remain."""
+
+    def test_vsmart_join_warns_and_matches_the_driver(self,
+                                                      overlapping_multisets):
+        cluster = laptop_cluster()
+        with pytest.warns(DeprecationWarning, match="vsmart_join"):
+            pairs = vsmart_join(overlapping_multisets, threshold=0.8,
+                                cluster=cluster)
+        direct = VSmartJoin(VSmartJoinConfig(threshold=0.8),
+                            cluster=cluster).run(overlapping_multisets)
+        assert pairs == direct.pairs
+
+    def test_vcl_join_warns_and_matches_the_driver(self,
+                                                   overlapping_multisets):
+        cluster = laptop_cluster()
+        with pytest.warns(DeprecationWarning, match="vcl_join"):
+            pairs = vcl_join(overlapping_multisets, threshold=0.8,
+                             cluster=cluster)
+        direct = VCLJoin(VCLConfig(threshold=0.8),
+                         cluster=cluster).run(overlapping_multisets)
+        assert pairs == direct.pairs
+
+    def test_vcl_join_keeps_the_historical_positional_order(
+            self, overlapping_multisets):
+        # Pre-1.3 callers pass (multisets, measure, threshold, cluster,
+        # backend) positionally; the new cost_parameters/enforce_budgets
+        # parameters are keyword-only so that contract survives.
+        with pytest.warns(DeprecationWarning):
+            pairs = vcl_join(overlapping_multisets, "ruzicka", 0.8,
+                             laptop_cluster(), "serial")
+        assert {p.pair for p in pairs} == {("a", "b"), ("d", "e")}
+
+    def test_vcl_join_forwards_config_overrides(self, small_multisets):
+        with pytest.warns(DeprecationWarning):
+            hash_order = vcl_join(small_multisets, threshold=0.3,
+                                  element_order="hash", intern=False)
+        direct = VCLJoin(VCLConfig(threshold=0.3, element_order="hash",
+                                   intern=False),
+                         cluster=laptop_cluster()).run(small_multisets)
+        assert hash_order == direct.pairs
+
+    def test_vcl_join_forwards_enforce_budgets(self, small_multisets):
+        tiny = laptop_cluster().with_memory(500)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(MemoryBudgetExceeded):
+                vcl_join(small_multisets, threshold=0.5, cluster=tiny)
+        with pytest.warns(DeprecationWarning):
+            relaxed = vcl_join(small_multisets, threshold=0.5, cluster=tiny,
+                               enforce_budgets=False)
+        with pytest.warns(DeprecationWarning):
+            reference = vcl_join(small_multisets, threshold=0.5,
+                                 cluster=laptop_cluster())
+        assert {p.pair for p in relaxed} == {p.pair for p in reference}
+
+    def test_vcl_join_forwards_cost_parameters(self, overlapping_multisets):
+        # A slow calibration against a tight scheduler limit only times out
+        # if the parameters actually reach the driver — the historical
+        # vcl_join dropped them silently.
+        slow = CostParameters(job_overhead_seconds=1_000.0)
+        limited = laptop_cluster().with_scheduler_limit(100.0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(JobTimeoutError):
+                vcl_join(overlapping_multisets, threshold=0.8,
+                         cluster=limited, cost_parameters=slow)
+
+    def test_one_call_join_replaces_the_shims(self, overlapping_multisets):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = join(overlapping_multisets, threshold=0.8,
+                          algorithm="online_aggregation",
+                          cluster=laptop_cluster())
+        assert {p.pair for p in result} == {("a", "b"), ("d", "e")}

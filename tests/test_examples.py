@@ -1,0 +1,45 @@
+"""Smoke tests: every script under ``examples/`` must run cleanly.
+
+The examples are the documentation users actually execute, so each one is
+run as a real subprocess (fresh interpreter, ``PYTHONPATH=src``, no
+deprecated entry points allowed) and must exit 0.  Output is captured and
+attached on failure.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+EXAMPLE_SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def test_every_example_is_covered():
+    """A new example script is automatically picked up by this module."""
+    assert EXAMPLE_SCRIPTS, "no examples found"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_cleanly(script):
+    environment = dict(os.environ)
+    source_path = os.path.join(REPO_ROOT, "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (f"{source_path}{os.pathsep}{existing}"
+                                 if existing else source_path)
+    completed = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning",
+         os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, env=environment, cwd=REPO_ROOT,
+        timeout=600)
+    assert completed.returncode == 0, (
+        f"{script} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout}\n"
+        f"--- stderr ---\n{completed.stderr}")
+    assert completed.stdout.strip(), f"{script} produced no output"

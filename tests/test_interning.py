@@ -46,7 +46,7 @@ from repro.similarity.kernels import (
 )
 from repro.similarity.partials import fold_uni_multiplicities
 from repro.similarity.registry import get_measure, supported_measures
-from repro.vcl.driver import vcl_join
+from repro.engine.engine import join
 from repro.vsmart.driver import JOINING_ALGORITHMS, VSmartJoin, VSmartJoinConfig
 from tests.conftest import make_random_multisets
 
@@ -312,8 +312,10 @@ class TestPipelineEquivalence:
         assert {p.pair for p in result.pairs} == {p.pair for p in expected}
 
     def test_vcl_interned_kernel_matches(self, small_multisets):
-        interned = vcl_join(small_multisets, threshold=0.3, intern=True)
-        reference = vcl_join(small_multisets, threshold=0.3, intern=False)
+        interned = join(small_multisets, threshold=0.3, algorithm="vcl",
+                        intern=True).pairs
+        reference = join(small_multisets, threshold=0.3, algorithm="vcl",
+                         intern=False).pairs
         assert interned == reference
 
     @settings(max_examples=20, deadline=None,

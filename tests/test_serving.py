@@ -22,7 +22,8 @@ from repro.serving.index import QueryMatch, SimilarityIndex, sort_matches
 from repro.serving.node import ServingNode, query_signature
 from repro.serving.service import ShardedSimilarityService, shard_for
 from repro.similarity.registry import get_measure, supported_measures
-from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig, vsmart_join
+from repro.engine.engine import join
+from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig
 from tests.conftest import make_random_multisets
 
 
@@ -99,17 +100,18 @@ class TestSimilarityIndexBasics:
 
 
 class TestThresholdMatchesBatchJoin:
-    """Acceptance: index threshold queries == vsmart_join on the same data."""
+    """Acceptance: index threshold queries == the batch join on the same data."""
 
     @pytest.mark.parametrize("name", supported_measures())
     @pytest.mark.parametrize("threshold", [0.3, 0.7])
-    def test_every_measure_agrees_with_vsmart_join(self, name, threshold):
+    def test_every_measure_agrees_with_batch_join(self, name, threshold):
         multisets = make_random_multisets(12, alphabet_size=15, max_elements=8,
                                           seed=42)
         expected = {pair.pair: pair.similarity
-                    for pair in vsmart_join(multisets, measure=name,
-                                            threshold=threshold,
-                                            cluster=laptop_cluster(num_machines=3))}
+                    for pair in join(multisets, measure=name,
+                                     threshold=threshold,
+                                     algorithm="online_aggregation",
+                                     cluster=laptop_cluster(num_machines=3))}
         index = SimilarityIndex(name)
         index.bulk_load(multisets)
         found = index_pair_dictionary(index, threshold)
@@ -121,14 +123,15 @@ class TestThresholdMatchesBatchJoin:
     @given(st.integers(min_value=0, max_value=10_000),
            st.sampled_from([0.2, 0.5, 0.8]),
            st.sampled_from(supported_measures()))
-    def test_generated_datasets_agree_with_vsmart_join(self, seed, threshold,
-                                                       name):
+    def test_generated_datasets_agree_with_batch_join(self, seed, threshold,
+                                                      name):
         multisets = make_random_multisets(10, alphabet_size=12, max_elements=6,
                                           seed=seed)
         expected = {pair.pair: pair.similarity
-                    for pair in vsmart_join(multisets, measure=name,
-                                            threshold=threshold,
-                                            cluster=laptop_cluster(num_machines=3))}
+                    for pair in join(multisets, measure=name,
+                                     threshold=threshold,
+                                     algorithm="online_aggregation",
+                                     cluster=laptop_cluster(num_machines=3))}
         index = SimilarityIndex(name)
         index.bulk_load(multisets)
         found = index_pair_dictionary(index, threshold)

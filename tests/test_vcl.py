@@ -122,8 +122,13 @@ class TestVCLCorrectness:
         hash_names = [stats.job_name for stats in hash_result.pipeline.job_stats]
         assert hash_names == ["vcl_kernel", "vcl_dedup"]
 
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
     def test_convenience_function(self, overlapping_multisets):
-        pairs = vcl_join(overlapping_multisets, threshold=0.8, cluster=laptop_cluster())
+        # Dedicated deprecation-shim coverage; see also
+        # tests/test_engine.py::TestDeprecatedShims.
+        with pytest.warns(DeprecationWarning):
+            pairs = vcl_join(overlapping_multisets, threshold=0.8,
+                             cluster=laptop_cluster())
         assert {p.pair for p in pairs} == {("a", "b"), ("d", "e")}
 
     @settings(max_examples=8, deadline=None)

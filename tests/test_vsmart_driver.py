@@ -179,7 +179,30 @@ class TestDriverReporting:
         assert artifacts["threshold"] == 0.4
 
 
+@pytest.mark.filterwarnings("default::DeprecationWarning")
 class TestConvenienceFunction:
+    """Dedicated deprecation-shim coverage for the legacy one-call API.
+
+    The ``filterwarnings`` mark keeps these alive under the CI run that
+    escalates ``DeprecationWarning`` to an error everywhere else.
+    """
+
+    def test_vsmart_join_emits_a_deprecation_warning(self,
+                                                     overlapping_multisets):
+        with pytest.warns(DeprecationWarning, match="vsmart_join"):
+            vsmart_join(overlapping_multisets, threshold=0.8,
+                        cluster=laptop_cluster())
+
+    def test_vsmart_join_still_rejects_non_joining_algorithms(
+            self, overlapping_multisets):
+        # Historical contract: the function only ran the V-SMART-Join
+        # joining algorithms; engine-only names must keep erroring.
+        for algorithm in ("exact", "vcl", "minhash", "auto", "magic"):
+            with pytest.warns(DeprecationWarning):
+                with pytest.raises(JobConfigurationError, match="joining"):
+                    vsmart_join(overlapping_multisets, threshold=0.8,
+                                algorithm=algorithm)
+
     def test_vsmart_join_returns_pairs(self, overlapping_multisets):
         pairs = vsmart_join(overlapping_multisets, threshold=0.8,
                             cluster=laptop_cluster())

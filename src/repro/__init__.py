@@ -31,7 +31,11 @@ depends on:
 * :mod:`repro.engine` — the unified front door: a declarative
   :class:`JoinSpec`, a cost-model-driven :class:`Planner` with inspectable
   plans, the :class:`SimilarityEngine` session, and the single
-  :class:`JoinResult` every execution path returns.
+  :class:`JoinResult` every execution path returns;
+* :mod:`repro.streaming` — incremental join maintenance: a :class:`JoinView`
+  materializes a spec's pair set and applies upsert/delete
+  :class:`ChangeBatch` streams exactly, emitting :class:`PairDelta` events
+  and streaming them into the serving layer.
 
 Quickstart::
 
@@ -91,10 +95,20 @@ from repro.engine import (
     available_algorithms,
     join,
 )
+from repro.streaming import (
+    Change,
+    ChangeBatch,
+    JoinView,
+    PairDelta,
+    apply_deltas,
+    attach_serving,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "Change",
+    "ChangeBatch",
     "Cluster",
     "CorpusProfile",
     "ElementDictionary",
@@ -104,7 +118,9 @@ __all__ = [
     "JoinPlan",
     "JoinResult",
     "JoinSpec",
+    "JoinView",
     "Multiset",
+    "PairDelta",
     "PairCodec",
     "Planner",
     "ProcessBackend",
@@ -122,6 +138,8 @@ __all__ = [
     "VSmartJoinConfig",
     "__version__",
     "all_pairs_exact",
+    "apply_deltas",
+    "attach_serving",
     "available_algorithms",
     "available_backends",
     "bootstrap_from_join",

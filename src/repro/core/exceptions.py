@@ -130,3 +130,13 @@ class ServingError(ReproError):
 
 class CommunityError(ReproError):
     """Raised by the community-discovery post-processing utilities."""
+
+
+class StreamingError(ReproError):
+    """Raised by the incremental view-maintenance subsystem.
+
+    Covers malformed change batches (a delete naming an identifier the view
+    does not hold), specs a view cannot maintain exactly (approximate
+    MinHash joins, stop-word-filtered joins) and serving targets that
+    cannot be kept in sync with a view.
+    """

@@ -34,7 +34,9 @@ from repro.datasets.stats import (
     summarise_distribution,
 )
 from repro.datasets.workload import (
+    MutationStreamConfig,
     QueryWorkloadConfig,
+    generate_mutation_stream,
     generate_query_workload,
     workload_statistics,
 )
@@ -47,6 +49,7 @@ __all__ = [
     "DocumentCorpusConfig",
     "GeneratedDataset",
     "IPCookieConfig",
+    "MutationStreamConfig",
     "QueryWorkloadConfig",
     "clipped_zipf_sizes",
     "dataset_label",
@@ -54,6 +57,7 @@ __all__ = [
     "frequency_histogram",
     "generate_document_corpus",
     "generate_ip_cookie_dataset",
+    "generate_mutation_stream",
     "generate_preset",
     "generate_query_workload",
     "input_tuples",

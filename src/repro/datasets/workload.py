@@ -1,4 +1,4 @@
-"""Query-workload generation for the serving benchmarks.
+"""Query- and mutation-workload generation for the serving benchmarks.
 
 Online similarity traffic is as skewed as the data itself: a few hot
 entities are queried over and over (the proxies everybody investigates)
@@ -12,6 +12,13 @@ Optionally, a fraction of the queries are *perturbed* copies of their source
 multiset (an element dropped, a multiplicity bumped), modelling lookups for
 entities that drifted since the index was built; perturbed queries defeat
 the result cache, bounding the hit rate the way fresh traffic does.
+
+*Write* traffic is skewed the same way: the hot entities accumulate new
+observations (updates), fresh entities appear (inserts) and dead ones are
+retired (deletes).  :func:`generate_mutation_stream` replays that churn as
+seeded :class:`~repro.streaming.changes.ChangeBatch` sequences against an
+evolving live set, with a Zipf-skewed choice of update/delete targets, for
+the incremental view-maintenance subsystem and its benchmarks.
 """
 
 from __future__ import annotations
@@ -90,6 +97,104 @@ def _perturb(query: Multiset, rng: np.random.Generator) -> Multiset:
     bumped = list(counts)[int(rng.integers(0, len(counts)))]
     counts[bumped] += 1
     return Multiset(query.id, counts)
+
+
+@dataclass(frozen=True)
+class MutationStreamConfig:
+    """Parameters of a synthetic mutation (churn) stream.
+
+    Each batch holds ``batch_size`` changes drawn from the configured
+    update / insert / delete mix.  Updates and deletes pick their targets
+    with Zipf-skewed popularity over the live entities (hot entities churn
+    most, like the query side); updates perturb the target's current
+    contents, inserts add perturbed copies of a popular entity under fresh
+    identifiers.  The stream is internally consistent: deletes always name
+    an entity that is live at that point, and the live set never empties.
+    """
+
+    num_batches: int = 10
+    batch_size: int = 20
+    #: Fractions of the update / insert / delete mix (must sum to 1).
+    update_fraction: float = 0.6
+    insert_fraction: float = 0.2
+    delete_fraction: float = 0.2
+    #: Zipf exponent of the target popularity ranks.
+    zipf_exponent: float = 1.2
+    #: Random seed.
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_batches < 0:
+            raise DatasetError(
+                f"num_batches must be non-negative, got {self.num_batches}")
+        if self.batch_size < 1:
+            raise DatasetError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        fractions = (self.update_fraction, self.insert_fraction,
+                     self.delete_fraction)
+        if any(fraction < 0 for fraction in fractions):
+            raise DatasetError("churn-mix fractions must be non-negative")
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise DatasetError(
+                f"churn-mix fractions must sum to 1, got {sum(fractions)}")
+        if self.zipf_exponent <= 0:
+            raise DatasetError(
+                f"zipf_exponent must be positive, got {self.zipf_exponent}")
+
+
+def generate_mutation_stream(multisets: Sequence[Multiset],
+                             config: MutationStreamConfig | None = None):
+    """Generate seeded churn against ``multisets``: a list of change batches.
+
+    The batches are applicable in order to any view or index loaded with
+    ``multisets``: every delete names an identifier that is live at that
+    point in the stream, updates rewrite live entities (Zipf-skewed toward
+    the popular head, which stays hot for the whole stream), and inserts
+    introduce fresh ``n<i>`` identifiers that never collide with existing
+    ones.  The generator never lets the live set drop below one entity (a
+    delete that would do so becomes an insert).
+    """
+    # Deferred: repro.streaming imports the engine machinery, and the
+    # dataset package must stay importable without it at module-load time.
+    from repro.streaming.changes import Change, ChangeBatch
+
+    config = config or MutationStreamConfig()
+    if not multisets:
+        raise DatasetError("cannot generate a mutation stream over no multisets")
+    rng = np.random.default_rng(config.seed)
+    # Fixed popularity order: a random permutation of the initial members,
+    # with inserted entities appended to the cold tail.
+    order = [multiset.id
+             for multiset in (multisets[int(position)]
+                              for position in rng.permutation(len(multisets)))]
+    live: dict = {multiset.id: multiset for multiset in multisets}
+    distribution = BoundedZipf(len(multisets), config.zipf_exponent)
+    inserted = 0
+    batches = []
+    for _batch in range(config.num_batches):
+        changes = []
+        for _change in range(config.batch_size):
+            rank = distribution.sample_one(rng)
+            target_id = order[(rank - 1) % len(order)]
+            draw = rng.random()
+            if draw < config.update_fraction:
+                replacement = _perturb(live[target_id], rng)
+                live[target_id] = replacement
+                changes.append(Change.upsert(replacement))
+            elif (draw < config.update_fraction + config.insert_fraction
+                  or len(live) <= 1):
+                fresh_id = f"n{inserted:06d}"
+                inserted += 1
+                fresh = _perturb(live[target_id], rng).with_id(fresh_id)
+                live[fresh_id] = fresh
+                order.append(fresh_id)
+                changes.append(Change.upsert(fresh))
+            else:
+                live.pop(target_id)
+                order.remove(target_id)
+                changes.append(Change.delete(target_id))
+        batches.append(ChangeBatch(changes))
+    return batches
 
 
 def workload_statistics(queries: Sequence[Multiset]) -> dict[str, float]:

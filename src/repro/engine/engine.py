@@ -142,6 +142,18 @@ class SimilarityEngine:
         return JoinResult(spec=spec, algorithm=algorithm, pairs=pairs,
                           pipeline=pipeline, multisets=multisets, plan=plan)
 
+    def materialize(self, spec: JoinSpec | None = None, data=None):
+        """Run ``spec`` and return a maintained incremental view of it.
+
+        The join executes exactly as :meth:`run` would; its pairs seed a
+        :class:`~repro.streaming.view.JoinView` that stays correct under
+        :class:`~repro.streaming.changes.ChangeBatch` mutations without
+        re-running the join.  The view borrows this engine for any batch
+        it decides to re-join (and for the cost calibration of that
+        decision), so close the view's workload before closing the engine.
+        """
+        return self.run(spec, data).to_view(engine=self)
+
     # -- internals -----------------------------------------------------------
 
     def _materialise(self, data) -> list[Multiset]:

@@ -120,6 +120,22 @@ class JoinResult:
         return bootstrap_from_join(self.multisets, self,
                                    num_shards=num_shards, **bootstrap_options)
 
+    def to_view(self, engine=None):
+        """Turn this result into a maintained incremental
+        :class:`~repro.streaming.view.JoinView`.
+
+        The view starts from this result's pairs (no recomputation) and
+        applies mutation batches exactly.  ``engine`` is the session the
+        view's re-join strategy executes on (borrowed); without one, each
+        re-join creates a throwaway serial engine.  Approximate results
+        (``minhash``) and stop-word-filtered joins cannot seed an exact
+        view and are rejected.
+        """
+        from repro.streaming.view import JoinView
+
+        return JoinView(self.spec, self.multisets, pairs=self.pairs,
+                        engine=engine)
+
     def to_jsonl(self, destination: str | IO[str]) -> int:
         """Write one JSON object per similar pair; returns the pair count.
 

@@ -192,12 +192,42 @@ def bootstrap_from_join(
     return service
 
 
+def warm_member_caches(nodes, shard_for, members: Sequence[Multiset],
+                       matches_for, threshold: float) -> None:
+    """Seed each member's threshold-query answer across the shard caches.
+
+    ``matches_for(member)`` supplies the member's partner matches at
+    ``threshold`` (self excluded); the member's own entry is derived from
+    its already-indexed ``Uni`` partials and appended when its
+    self-similarity reaches the threshold.  A threshold query fans out to
+    every node, so each node is seeded with its own shard's slice of the
+    answer.  Shared by the join bootstrap and the streaming serving
+    subscriber, so the warming algorithm exists exactly once.
+    """
+    if not nodes:
+        return
+    measure = nodes[0].measure
+    for member in members:
+        matches = list(matches_for(member))
+        uni = nodes[shard_for(member.id)].index.uni(member.id)
+        self_similarity = measure.combine(uni, uni,
+                                          measure.conjunctive(member, member))
+        if self_similarity >= threshold:
+            matches.append(QueryMatch(member.id, self_similarity))
+        per_shard: dict[int, list[QueryMatch]] = {
+            shard: [] for shard in range(len(nodes))}
+        for match in matches:
+            per_shard[shard_for(match.multiset_id)].append(match)
+        for shard, shard_matches in per_shard.items():
+            nodes[shard].warm_threshold(member, threshold,
+                                        sort_matches(shard_matches))
+
+
 def _warm_from_pairs(service: ShardedSimilarityService,
                      multisets: Sequence[Multiset],
                      join_result: object,
                      threshold: float) -> None:
     """Seed every shard's cache with the join's per-member answers."""
-    resolved = service.measure
     indexed_ids = {member.id for member in multisets}
     partners: dict = {}
     for pair in join_result.pairs:
@@ -212,19 +242,5 @@ def _warm_from_pairs(service: ShardedSimilarityService,
         partners.setdefault(pair.second, []).append(
             QueryMatch(pair.first, pair.similarity))
 
-    for member in multisets:
-        matches = list(partners.get(member.id, []))
-        uni = service.node_for(member.id).index.uni(member.id)
-        self_similarity = resolved.combine(uni, uni,
-                                           resolved.conjunctive(member, member))
-        if self_similarity >= threshold:
-            matches.append(QueryMatch(member.id, self_similarity))
-        # A threshold query fans out to every node, so each node needs its
-        # own slice of the answer in its cache.
-        per_shard: dict[int, list[QueryMatch]] = {
-            shard: [] for shard in range(service.num_shards)}
-        for match in matches:
-            per_shard[service.shard_for(match.multiset_id)].append(match)
-        for shard, shard_matches in per_shard.items():
-            service.nodes[shard].warm_threshold(member, threshold,
-                                                sort_matches(shard_matches))
+    warm_member_caches(service.nodes, service.shard_for, multisets,
+                       lambda member: partners.get(member.id, []), threshold)

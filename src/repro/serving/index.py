@@ -173,6 +173,26 @@ class SimilarityIndex:
         """Total number of (element, multiset) posting entries."""
         return sum(len(postings) for postings in self._postings.values())
 
+    def document_frequency(self, element: Element) -> int:
+        """How many indexed multisets contain ``element`` (effectively).
+
+        This is the length of the element's posting list — the quantity a
+        query over that element pays — so incremental maintenance can price
+        the scan a mutation would trigger before running it.
+        """
+        postings = self._postings.get(self._element_key(element))
+        return len(postings) if postings else 0
+
+    def posting_list_sizes(self) -> list[int]:
+        """The length of every posting list (one entry per alphabet element).
+
+        ``sum(df * (df - 1) // 2)`` over these is the unpruned candidate-pair
+        volume of a from-scratch join over the indexed state — the same
+        estimate the engine planner prices, computed here from the live
+        postings instead of a corpus profile.
+        """
+        return [len(postings) for postings in self._postings.values()]
+
     def counters(self) -> dict[str, int]:
         """Query-execution counters (scanned postings, pruned candidates...)."""
         return dict(self._counters)

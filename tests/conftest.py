@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.multiset import Multiset
 from repro.mapreduce.cluster import GOOGLE_MAPREDUCE, HADOOP, Cluster, laptop_cluster
+
+# Hypothesis budgets.  The stateful suites (tests/test_streaming.py,
+# tests/test_serving.py) take their example and step budgets from the
+# loaded profile; property tests that name an explicit max_examples keep
+# it.  "dev" is the fast local default; CI runs one matrix entry with
+# HYPOTHESIS_PROFILE=ci for a deeper stateful search.
+settings.register_profile(
+    "dev", max_examples=20, stateful_step_count=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "ci", max_examples=75, stateful_step_count=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_random_multisets(count: int, alphabet_size: int, max_elements: int,

@@ -627,3 +627,61 @@ class TestDeprecatedShims:
                           algorithm="online_aggregation",
                           cluster=laptop_cluster())
         assert {p.pair for p in result} == {("a", "b"), ("d", "e")}
+
+
+class TestJoinResultLazyConsumption:
+    """PR-4 gap: the JSONL export must round-trip the exact pair records,
+    and the statistics surface must survive partial lazy iteration."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        with SimilarityEngine(cluster=laptop_cluster(4)) as engine:
+            return engine.run(
+                JoinSpec(threshold=0.2, algorithm="sharding"),
+                make_random_multisets(25, alphabet_size=40, max_elements=15,
+                                      seed=5))
+
+    def test_to_jsonl_round_trips_every_pair(self, result):
+        from repro.core.records import SimilarPair
+
+        buffer = io.StringIO()
+        written = result.to_jsonl(buffer)
+        decoded = [json.loads(line)
+                   for line in buffer.getvalue().splitlines()]
+        assert written == len(decoded) == len(result.pairs) > 0
+        rebuilt = [SimilarPair(record["first"], record["second"],
+                               record["similarity"]) for record in decoded]
+        assert rebuilt == result.pairs
+
+    def test_non_json_identifiers_export_via_repr(self, overlapping_multisets):
+        from repro.core.multiset import Multiset
+
+        corpus = [Multiset(("ip", index), multiset.counts())
+                  for index, multiset in enumerate(overlapping_multisets[:2])]
+        with SimilarityEngine(cluster=laptop_cluster(2)) as engine:
+            tupled = engine.run(JoinSpec(threshold=0.8, algorithm="exact"),
+                                corpus)
+        buffer = io.StringIO()
+        tupled.to_jsonl(buffer)
+        record = json.loads(buffer.getvalue().splitlines()[0])
+        assert record["first"] == repr(("ip", 0))
+
+    def test_counters_and_stats_survive_partial_iteration(self, result):
+        iterator = iter(result)
+        consumed = [next(iterator) for _ in range(3)]
+        counters = result.counters()
+        assert counters["similarity2/pairs_evaluated"] > 0
+        first_job = result.job_names()[0]
+        assert result.stats_for(first_job).simulated_seconds > 0
+        # The partially consumed iterator resumes where it stopped, and the
+        # statistics reads did not perturb it (or the pair list).
+        assert consumed + list(iterator) == result.pairs
+        assert result.counters() == counters
+        assert len(result) == len(result.pairs)
+
+    def test_partial_iteration_does_not_perturb_jsonl(self, result):
+        iterator = iter(result)
+        next(iterator)
+        buffer = io.StringIO()
+        assert result.to_jsonl(buffer) == len(result.pairs)
+        assert len(buffer.getvalue().splitlines()) == len(result.pairs)

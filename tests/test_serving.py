@@ -757,3 +757,171 @@ class TestCacheCounterExposure:
         for stat in ("cache/hits", "cache/misses", "cache/evictions"):
             assert totals[stat] == sum(stats[stat] for stats in per_node.values())
         assert totals["cache/hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Stateful model check of the mutable serving surface
+# ---------------------------------------------------------------------------
+
+from hypothesis import HealthCheck, settings as hyp_settings  # noqa: E402
+from hypothesis.stateful import (  # noqa: E402
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+#: Small universes so replaces, re-adds and duplicate rejections are common.
+SERVING_IDS = tuple(f"i{index}" for index in range(8))
+SERVING_ALPHABET = tuple(f"w{index}" for index in range(8))
+
+SERVING_CONTENTS = st.dictionaries(st.sampled_from(SERVING_ALPHABET),
+                                   st.integers(min_value=1, max_value=4),
+                                   max_size=5)
+
+
+class ServingNodeModelMachine(RuleBasedStateMachine):
+    """A ServingNode stays in parity with a brute-force model under churn.
+
+    Exercises the historically under-tested paths: ``remove``, ``replace``,
+    duplicate-add rejection, the write-version counter, and result-cache
+    correctness across invalidations (every query immediately follows
+    arbitrary interleaved writes, so a stale cache entry would surface as a
+    wrong answer).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.node = None
+        self.model: dict = {}
+        self.measure = None
+        self.capacity = 0
+        self.last_version = 0
+
+    @initialize(measure=st.sampled_from(["ruzicka", "jaccard",
+                                         "vector_cosine", "overlap"]),
+                intern=st.booleans(),
+                capacity=st.sampled_from([0, 2, 64]))
+    def setup(self, measure, intern, capacity):
+        self.measure = get_measure(measure)
+        self.capacity = capacity
+        self.node = ServingNode(measure, cache_capacity=capacity,
+                                intern=intern)
+        self.model = {}
+        self.last_version = 0
+
+    def _assert_write_bumped(self):
+        assert self.node.index.version > self.last_version
+        self.last_version = self.node.index.version
+
+    def _expected_threshold(self, query, threshold):
+        return sort_matches(
+            QueryMatch(multiset_id, similarity)
+            for multiset_id, member in self.model.items()
+            if (similarity := self.measure.similarity(query, member))
+            >= threshold)
+
+    def _draw_query(self, data):
+        if self.model and data.draw(st.booleans(), label="member query?"):
+            source = self.model[data.draw(st.sampled_from(sorted(self.model)),
+                                          label="query source")]
+            return source.with_id("q")
+        return Multiset("q", data.draw(SERVING_CONTENTS,
+                                       label="query contents"))
+
+    # -- writes ---------------------------------------------------------------
+
+    @rule(data=st.data(), contents=SERVING_CONTENTS)
+    def add(self, data, contents):
+        target = data.draw(st.sampled_from(SERVING_IDS), label="add target")
+        member = Multiset(target, contents)
+        if target in self.model:
+            with pytest.raises(ServingError):
+                self.node.add(member)
+            # The rejected write must not have mutated anything.
+            assert self.node.index.version == self.last_version
+            assert self.node.index.get(target) == self.model[target]
+        else:
+            self.node.add(member)
+            self.model[target] = member
+            self._assert_write_bumped()
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), contents=SERVING_CONTENTS)
+    def replace(self, data, contents):
+        target = data.draw(st.sampled_from(sorted(self.model)),
+                           label="replace target")
+        member = Multiset(target, contents)
+        self.node.add(member, replace=True)
+        self.model[target] = member
+        self._assert_write_bumped()
+
+    @rule(data=st.data())
+    def remove(self, data):
+        target = data.draw(st.sampled_from(SERVING_IDS), label="remove target")
+        if target in self.model:
+            self.node.remove(target)
+            del self.model[target]
+            self._assert_write_bumped()
+        else:
+            with pytest.raises(ServingError):
+                self.node.remove(target)
+            assert self.node.index.version == self.last_version
+
+    # -- queries (always against a freshly mutated index) ---------------------
+
+    @rule(data=st.data(), threshold=st.sampled_from([0.2, 0.5, 0.9]))
+    def query_threshold_matches_brute_force(self, data, threshold):
+        query = self._draw_query(data)
+        expected = self._expected_threshold(query, threshold)
+        found = self.node.query_threshold(query, threshold)
+        assert [match.multiset_id for match in found] \
+            == [match.multiset_id for match in expected]
+        assert [match.similarity for match in found] \
+            == pytest.approx([match.similarity for match in expected])
+        # Asking again returns the identical answer; with a cache it is a
+        # hit, without one it recomputes — either way no drift.
+        hits_before = self.node.cache_hits
+        assert self.node.query_threshold(query, threshold) == found
+        if self.capacity > 0:
+            assert self.node.cache_hits == hits_before + 1
+        else:
+            assert self.node.cache_hits == 0
+
+    @rule(data=st.data(), k=st.integers(min_value=1, max_value=5))
+    def query_topk_matches_brute_force(self, data, k):
+        query = self._draw_query(data)
+        # The index only scores candidates sharing an element; for every
+        # supported measure those are exactly the positive similarities.
+        expected = sort_matches(
+            match for match in self._expected_threshold(query, 1e-12))[:k]
+        found = self.node.query_topk(query, k)
+        assert [match.multiset_id for match in found] \
+            == [match.multiset_id for match in expected]
+        assert [match.similarity for match in found] \
+            == pytest.approx([match.similarity for match in expected])
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def membership_matches_model(self):
+        if self.node is None:
+            return
+        assert len(self.node) == len(self.model)
+        assert set(self.node.index.ids()) == set(self.model)
+        for multiset_id, member in self.model.items():
+            assert multiset_id in self.node
+            assert self.node.index.get(multiset_id) == member
+
+    @invariant()
+    def empty_index_has_no_postings(self):
+        if self.node is not None and not self.model:
+            assert self.node.index.num_postings == 0
+
+
+ServingNodeModelMachine.TestCase.settings = hyp_settings(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large,
+                           HealthCheck.filter_too_much])
+TestServingNodeStateful = ServingNodeModelMachine.TestCase

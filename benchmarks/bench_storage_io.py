@@ -1,0 +1,155 @@
+"""Storage-tier I/O: save/load/recover throughput and disk query latency.
+
+Runs the small synthetic preset through the whole durable surface and
+measures each leg: persisting a finished join result and loading it back
+(lazily), persisting a warm serving index, and the crash path — a
+:class:`JoinView` attached to a :class:`ViewStore`, a mutation stream
+applied with per-batch logging, then a recovery from the file alone.
+Point lookups compare :meth:`ResultStore.score` (one indexed SQL probe)
+against the in-memory pair dict.
+
+Exactness is asserted on every leg *unconditionally* — the loaded result,
+index and recovered view must equal their in-memory originals — because
+the storage tier's contract is exact round-trips, not best-effort ones.
+Wall-clock series are named with ``_wall_seconds`` / ``_per_second`` so
+the regression gate skips them; the deterministic series (pair counts,
+parity flags, batch counts) are the committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import SMOKE, run_once
+from repro.analysis.reporting import format_table
+from repro.datasets.workload import MutationStreamConfig, generate_mutation_stream
+from repro.engine.engine import SimilarityEngine
+from repro.engine.result import JoinResult
+from repro.engine.spec import JoinSpec
+from repro.serving.index import SimilarityIndex
+from repro.storage import ResultStore
+from repro.streaming.view import INCREMENTAL, JoinView
+
+THRESHOLD = 0.5
+SPEC = JoinSpec(measure="ruzicka", threshold=THRESHOLD, algorithm="exact")
+
+#: Smoke mode shrinks the corpus so CI's bench job stays quick.
+CORPUS_SIZE = 120 if SMOKE else None
+#: The logged mutation stream: five batches of 1% churn each.
+NUM_BATCHES = 3 if SMOKE else 5
+#: Point-lookup probes per side (disk vs memory).
+NUM_PROBES = 200 if SMOKE else 2_000
+
+
+def _timed(function):
+    started = time.perf_counter()
+    value = function()
+    return value, time.perf_counter() - started
+
+
+def _measure(result, directory):
+    rows = {}
+
+    # -- join result: save, lazy load, full lazy consumption ---------------
+    result_path = os.path.join(directory, "result.sqlite")
+    _, rows["result_save_wall_seconds"] = _timed(
+        lambda: result.to_sqlite(result_path))
+    loaded, rows["result_open_wall_seconds"] = _timed(
+        lambda: JoinResult.from_sqlite(result_path))
+    streamed, rows["result_stream_wall_seconds"] = _timed(
+        lambda: list(loaded.pairs))
+    rows["result_parity"] = streamed == list(result.pairs)
+    rows["num_pairs"] = len(result.pairs)
+
+    # -- serving index: save, load -----------------------------------------
+    index = result.to_index()
+    index_path = os.path.join(directory, "index.sqlite")
+    _, rows["index_save_wall_seconds"] = _timed(
+        lambda: index.save(index_path))
+    loaded_index, rows["index_load_wall_seconds"] = _timed(
+        lambda: SimilarityIndex.load(index_path))
+    rows["index_parity"] = (loaded_index._postings == index._postings
+                            and loaded_index._uni == index._uni)
+    rows["num_postings"] = index.num_postings
+
+    # -- view: logged mutation stream, then crash recovery ------------------
+    view = result.to_view()
+    unlogged = result.to_view()
+    batch_size = max(1, len(result.multisets) // 100)
+    batches = generate_mutation_stream(
+        view.members(), MutationStreamConfig(num_batches=NUM_BATCHES,
+                                             batch_size=batch_size,
+                                             seed=2012))
+    view_path = os.path.join(directory, "view.sqlite")
+    subscription = view.persist(view_path)
+    _, logged_elapsed = _timed(lambda: [
+        view.apply(batch, strategy=INCREMENTAL) for batch in batches])
+    _, unlogged_elapsed = _timed(lambda: [
+        unlogged.apply(batch, strategy=INCREMENTAL) for batch in batches])
+    subscription.detach()  # process death after the last committed batch
+    recovered, rows["recover_wall_seconds"] = _timed(
+        lambda: JoinView.recover(view_path))
+    rows["logged_apply_wall_seconds"] = logged_elapsed
+    rows["unlogged_apply_wall_seconds"] = unlogged_elapsed
+    rows["recover_parity"] = (recovered.pairs() == view.pairs()
+                              and recovered.version == view.version)
+    rows["num_batches"] = len(batches)
+    rows["batch_size"] = batch_size
+    rows["recovered_pairs"] = recovered.num_pairs
+
+    # -- point lookups: disk-backed vs in-memory ----------------------------
+    memory_pairs = {pair.pair: pair.similarity for pair in result.pairs}
+    probes = [result.pairs[index % len(result.pairs)].pair
+              for index in range(NUM_PROBES)]
+    with ResultStore(result_path) as store:
+        _, disk_elapsed = _timed(lambda: [
+            store.score(first, second) for first, second in probes])
+    _, memory_elapsed = _timed(lambda: [
+        memory_pairs.get((first, second)) for first, second in probes])
+    rows["disk_lookups_per_second"] = (len(probes) / disk_elapsed
+                                       if disk_elapsed > 0 else float("inf"))
+    rows["memory_lookups_per_second"] = (
+        len(probes) / memory_elapsed if memory_elapsed > 0 else float("inf"))
+    rows["num_probes"] = len(probes)
+
+    assert rows["result_parity"] and rows["index_parity"] \
+        and rows["recover_parity"], "storage round-trips must be exact"
+    return rows
+
+
+def test_storage_io(benchmark, small_dataset, bench_record, tmp_path):
+    multisets = small_dataset.multisets
+    if CORPUS_SIZE is not None:
+        multisets = multisets[:CORPUS_SIZE]
+    with SimilarityEngine() as engine:
+        result = engine.run(SPEC, multisets)
+
+    rows = run_once(benchmark, lambda: _measure(result, str(tmp_path)))
+
+    bench_record["corpus_size"] = len(multisets)
+    bench_record["threshold"] = THRESHOLD
+    bench_record.update(rows)
+
+    print()
+    print(format_table(
+        ["leg", "wall", "detail"],
+        [["result save", f"{rows['result_save_wall_seconds'] * 1000:,.1f}ms",
+          f"{rows['num_pairs']} pairs"],
+         ["result lazy stream",
+          f"{rows['result_stream_wall_seconds'] * 1000:,.1f}ms",
+          f"parity={rows['result_parity']}"],
+         ["index save", f"{rows['index_save_wall_seconds'] * 1000:,.1f}ms",
+          f"{rows['num_postings']} postings"],
+         ["index load", f"{rows['index_load_wall_seconds'] * 1000:,.1f}ms",
+          f"parity={rows['index_parity']}"],
+         ["logged applies",
+          f"{rows['logged_apply_wall_seconds'] * 1000:,.1f}ms",
+          f"{rows['num_batches']} batches x {rows['batch_size']}"],
+         ["crash recovery", f"{rows['recover_wall_seconds'] * 1000:,.1f}ms",
+          f"{rows['recovered_pairs']} pairs, parity={rows['recover_parity']}"],
+         ["disk lookups", f"{rows['num_probes']} probes",
+          f"{rows['disk_lookups_per_second']:,.0f}/s vs "
+          f"{rows['memory_lookups_per_second']:,.0f}/s in memory"]],
+        title=f"Storage tier I/O over {len(multisets)} multisets "
+              f"(t = {THRESHOLD})"))

@@ -35,7 +35,12 @@ depends on:
 * :mod:`repro.streaming` — incremental join maintenance: a :class:`JoinView`
   materializes a spec's pair set and applies upsert/delete
   :class:`ChangeBatch` streams exactly, emitting :class:`PairDelta` events
-  and streaming them into the serving layer.
+  and streaming them into the serving layer;
+* :mod:`repro.storage` — the durable persistence tier: one SQLite file
+  holds a serving index (``SimilarityIndex.save``/``.load``), a crash-
+  recoverable view snapshot + mutation log (``JoinView.persist`` /
+  ``JoinView.recover``) or a stored join result with lazy pair iteration
+  (``JoinResult.to_sqlite``/``.from_sqlite``), all with exact round-trips.
 
 Quickstart::
 
@@ -95,6 +100,12 @@ from repro.engine import (
     available_algorithms,
     join,
 )
+from repro.storage import (
+    ResultStore,
+    StorageEngine,
+    StoredPairSequence,
+    ViewStore,
+)
 from repro.streaming import (
     Change,
     ChangeBatch,
@@ -104,7 +115,7 @@ from repro.streaming import (
     attach_serving,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Change",
@@ -124,6 +135,7 @@ __all__ = [
     "PairCodec",
     "Planner",
     "ProcessBackend",
+    "ResultStore",
     "SerialBackend",
     "ServingNode",
     "ShardedSimilarityService",
@@ -131,7 +143,10 @@ __all__ = [
     "SimilarityEngine",
     "SimilarityIndex",
     "SparseVector",
+    "StorageEngine",
+    "StoredPairSequence",
     "ThreadBackend",
+    "ViewStore",
     "VCLConfig",
     "VCLJoin",
     "VSmartJoin",

@@ -132,6 +132,17 @@ class CommunityError(ReproError):
     """Raised by the community-discovery post-processing utilities."""
 
 
+class StorageError(ReproError):
+    """Raised by the durable persistence tier (:mod:`repro.storage`).
+
+    Covers values the storage codec cannot round-trip exactly (identifiers
+    and elements must be built from the supported hashable types), files
+    that do not contain the requested artifact (recovering a view from a
+    database that never held one), schema-version mismatches and corrupted
+    mutation logs.
+    """
+
+
 class StreamingError(ReproError):
     """Raised by the incremental view-maintenance subsystem.
 

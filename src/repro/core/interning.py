@@ -168,6 +168,42 @@ class ElementDictionary:
 
     # -- interning ---------------------------------------------------------
 
+    # -- persistence ---------------------------------------------------------
+
+    def to_records(self) -> list[tuple[int, Element, int]]:
+        """The dictionary as ``(element_id, element, frequency)`` rows.
+
+        Rows ascend by id, so a consumer that stores them and replays them
+        through :meth:`from_records` reconstructs the exact dictionary —
+        including the document-frequency order the ids encode.  The storage
+        tier (:mod:`repro.storage`) persists dictionaries in this shape.
+        """
+        frequency_of = self._frequencies.get
+        return [(element_id, element, frequency_of(element, 0))
+                for element_id, element in enumerate(self._elements)]
+
+    @classmethod
+    def from_records(
+            cls, records: Iterable[tuple[int, Element, int]],
+    ) -> "ElementDictionary":
+        """Rebuild a dictionary from :meth:`to_records` rows (any order).
+
+        The ids must form the contiguous range ``0 .. n-1``; anything else
+        means the rows do not describe one complete dictionary.
+        """
+        materialised = sorted(records)
+        elements = []
+        frequencies: dict = {}
+        for expected, (element_id, element, frequency) in enumerate(materialised):
+            if element_id != expected:
+                raise InterningError(
+                    f"dictionary records carry id {element_id} where "
+                    f"{expected} was expected; ids must be contiguous from 0")
+            elements.append(element)
+            if frequency:
+                frequencies[element] = frequency
+        return cls(elements, frequencies)
+
     def intern_multiset(self, multiset: Multiset) -> "InternedMultiset":
         """Intern a multiset into its canonical sorted-array representation.
 
@@ -261,6 +297,29 @@ class LocalInterner:
     def get(self, element: Element) -> int | None:
         """The dense id of ``element``, or ``None`` when never interned."""
         return self._ids.get(element)
+
+    def items(self) -> Iterator[tuple[Element, int]]:
+        """Iterate ``(element, dense id)`` pairs in id-assignment order."""
+        return iter(self._ids.items())
+
+    @classmethod
+    def from_items(cls,
+                   items: Iterable[tuple[Element, int]]) -> "LocalInterner":
+        """Rebuild an interner from :meth:`items` pairs.
+
+        The pairs must arrive in id order with ids contiguous from 0 — the
+        shape :meth:`items` produces and the storage tier persists — so the
+        rebuilt interner assigns future ids exactly as the original would.
+        """
+        interner = cls()
+        ids = interner._ids
+        for element, element_id in items:
+            if element_id != len(ids) or element in ids:
+                raise InterningError(
+                    f"interner items are not a contiguous id assignment at "
+                    f"({element!r}, {element_id})")
+            ids[element] = element_id
+        return interner
 
     def intern_multiset(self, multiset: Multiset) -> InternedMultiset:
         """Intern a multiset, assigning ids to any new elements."""

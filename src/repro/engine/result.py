@@ -13,12 +13,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import IO, Iterator
+from typing import IO, Iterator, Sequence
 
+from repro.core.exceptions import DatasetError
 from repro.core.multiset import Multiset
 from repro.core.records import SimilarPair
 from repro.engine.planner import JoinPlan
 from repro.engine.spec import JoinSpec
+from repro.mapreduce.dfs import Dataset
 from repro.mapreduce.runner import PipelineResult
 from repro.mapreduce.types import JobStats
 
@@ -30,7 +32,9 @@ class JoinResult:
     spec: JoinSpec
     #: The concrete algorithm that executed (never ``"auto"``).
     algorithm: str
-    pairs: list[SimilarPair]
+    #: Usually a list; a result loaded lazily from storage carries a
+    #: disk-backed :class:`~repro.storage.StoredPairSequence` instead.
+    pairs: Sequence[SimilarPair]
     pipeline: PipelineResult
     #: The corpus the join ran over (feeds the serving handoffs).
     multisets: list[Multiset] = field(default_factory=list, repr=False)
@@ -155,6 +159,70 @@ class JoinResult:
             destination.write("\n")
             count += 1
         return count
+
+    @classmethod
+    def from_jsonl(cls, source: str | IO[str],
+                   spec: JoinSpec | None = None,
+                   algorithm: str = "import") -> "JoinResult":
+        """Read a :meth:`to_jsonl` export back as a result.
+
+        ``source`` is a path or an open text handle; blank and trailing
+        lines are tolerated.  The export carries only the pairs, so the
+        returned result has an empty corpus and, unless ``spec`` is given,
+        a default :class:`JoinSpec` — enough for iteration, ``to_sqlite``
+        and downstream reporting, not for the serving handoffs (which need
+        the multisets).  Note ``to_jsonl`` renders non-JSON identifiers
+        through ``repr``; those round-trip as their string rendering.
+        """
+        if isinstance(source, str):
+            with open(source, encoding="utf-8") as handle:
+                return cls.from_jsonl(handle, spec=spec, algorithm=algorithm)
+        pairs = []
+        for number, line in enumerate(source, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                pairs.append(SimilarPair.make(record["first"],
+                                              record["second"],
+                                              float(record["similarity"])))
+            except (TypeError, ValueError, KeyError) as error:
+                raise DatasetError(
+                    f"line {number} is not a similar-pair record "
+                    f"({error}): {line.strip()!r}") from None
+        if spec is None:
+            spec = JoinSpec(algorithm="exact")
+        return cls(spec=spec, algorithm=algorithm, pairs=pairs,
+                   pipeline=PipelineResult(
+                       name=algorithm,
+                       output=Dataset(f"{algorithm}:pairs", pairs)))
+
+    def to_sqlite(self, destination) -> int:
+        """Persist this result into a SQLite database; returns the pair count.
+
+        ``destination`` is a database path or an open
+        :class:`~repro.storage.StorageEngine`.  The spec, the concrete
+        algorithm, the joined corpus and the pairs (in result order) are
+        stored; :meth:`from_sqlite` loads them back with lazy pair
+        iteration.
+        """
+        from repro.storage import ResultStore
+
+        with ResultStore(destination) as store:
+            return store.save(self)
+
+    @classmethod
+    def from_sqlite(cls, source, *, lazy: bool = True) -> "JoinResult":
+        """Load a result stored by :meth:`to_sqlite`.
+
+        With ``lazy=True`` (the default) ``result.pairs`` streams from the
+        database on demand — ``len()``, indexing and iteration never
+        materialize the full pair set in memory.
+        """
+        from repro.storage import ResultStore
+
+        with ResultStore(source) as store:
+            return store.load(lazy=lazy)
 
 
 def _jsonable(identifier: object) -> object:

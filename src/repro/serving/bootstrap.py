@@ -18,6 +18,7 @@ covers both halves:
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.exceptions import ServingError
@@ -70,7 +71,8 @@ def _is_serial_backend(backend: str | ExecutionBackend) -> bool:
 
 
 def bootstrap_from_join(
-        data: Iterable[Multiset] | Dataset | Sequence[InputTuple] | Mapping,
+        data: "Iterable[Multiset] | Dataset | Sequence[InputTuple] | Mapping "
+              "| str | os.PathLike",
         join_result: object | None = None,
         *, measure: str | NominalSimilarityMeasure | None = None,
         threshold: float | None = None,
@@ -103,7 +105,20 @@ def bootstrap_from_join(
     ``join_result`` accepts a legacy
     :class:`~repro.vsmart.driver.VSmartJoinResult` or an engine
     :class:`~repro.engine.result.JoinResult` interchangeably.
+
+    ``data`` also accepts the path of a stored join result (written by
+    :meth:`JoinResult.to_sqlite <repro.engine.result.JoinResult.to_sqlite>`):
+    the corpus is read from the database, and — unless ``run_join=True``
+    or an explicit ``join_result`` overrides it — the stored pairs warm
+    the caches, so a fleet restarts from one file, no recomputation.
     """
+    if isinstance(data, (str, os.PathLike)):
+        from repro.engine.result import JoinResult
+
+        stored = JoinResult.from_sqlite(data, lazy=False)
+        data = stored.multisets
+        if join_result is None and not run_join:
+            join_result = stored
     # Materialise the input exactly once: `data` may be a one-shot iterator,
     # and both the optional inline join and the index build consume it.
     multisets = multisets_from_input(data)

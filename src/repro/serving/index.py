@@ -254,6 +254,29 @@ class SimilarityIndex:
             count += 1
         return count
 
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, destination) -> None:
+        """Persist this index into a SQLite database, exactly.
+
+        ``destination`` is a database path or an open
+        :class:`~repro.storage.StorageEngine`.  The indexed multisets, the
+        maintained ``Uni`` partials, the inverted postings and (when
+        interning) the dense-id assignment are all stored, so
+        :meth:`load` restores the index without recomputing anything and
+        its query answers are bit-identical to this one's.
+        """
+        from repro.storage import save_index
+
+        save_index(destination, self)
+
+    @classmethod
+    def load(cls, source) -> "SimilarityIndex":
+        """Load an index stored by :meth:`save` (path or open engine)."""
+        from repro.storage import load_index
+
+        return load_index(source)
+
     # -- queries ---------------------------------------------------------------
 
     def query_threshold(self, query: Multiset,

@@ -86,6 +86,20 @@ class ServingNode:
         finally:
             self.cache.invalidate()
 
+    # -- persistence -----------------------------------------------------------
+
+    def persist(self, destination) -> None:
+        """Save this node's index to a SQLite database (path or engine).
+
+        Convenience over
+        :meth:`SimilarityIndex.save <repro.serving.index.SimilarityIndex.save>`;
+        the result cache is deliberately not persisted (it is a
+        version-keyed memoisation, rebuilt for free by live traffic).  A
+        node restarted over ``SimilarityIndex.load(path)`` answers every
+        query identically to the one that persisted.
+        """
+        self.index.save(destination)
+
     # -- queries ---------------------------------------------------------------
 
     def _threshold_key(self, query: Multiset, threshold: float) -> tuple:

@@ -1,0 +1,99 @@
+"""Exact round-trip encoding of identifiers and elements for storage.
+
+Multiset identifiers and alphabet elements are arbitrary *hashables*
+throughout the package (IP strings, cookie strings, integer ids, tuples of
+either).  SQLite columns are not — so the storage tier stores every
+identifier and element through one tagged text encoding that round-trips
+**exactly**:
+
+* ``None``, ``bool``, ``int`` (arbitrary precision), ``float`` (via
+  ``repr``, which round-trips IEEE doubles bit for bit, including
+  ``inf``/``nan``), ``str`` and ``bytes``;
+* ``tuple`` and ``frozenset`` of the above, recursively (frozensets are
+  serialised in a deterministic order so equal values encode equally).
+
+Anything else — an unhashable value could never be an identifier, and an
+arbitrary object could not be restored faithfully — raises
+:class:`~repro.core.exceptions.StorageError` at *save* time, which is the
+moment the caller can still fix its data model.
+
+The encoded form is a compact JSON document (``["s","ip-1"]``,
+``["t",[["s","ip"],["i",3]]]``), chosen over pickle deliberately: it is
+queryable with plain SQL, diffable, safe to load from an untrusted file,
+and identical across Python versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable
+
+from repro.core.exceptions import StorageError
+
+#: One-letter type tags of the encoded form.
+_NONE, _BOOL, _INT, _FLOAT, _STR, _BYTES, _TUPLE, _FROZENSET = (
+    "z", "b", "i", "f", "s", "y", "t", "F")
+
+
+def _encode(value: Hashable) -> list:
+    if value is None:
+        return [_NONE]
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return [_BOOL, 1 if value else 0]
+    if isinstance(value, int):
+        return [_INT, str(value)]
+    if isinstance(value, float):
+        return [_FLOAT, repr(value)]
+    if isinstance(value, str):
+        return [_STR, value]
+    if isinstance(value, bytes):
+        return [_BYTES, value.hex()]
+    if isinstance(value, tuple):
+        return [_TUPLE, [_encode(item) for item in value]]
+    if isinstance(value, frozenset):
+        encoded = sorted((_encode(item) for item in value),
+                         key=lambda item: json.dumps(item, sort_keys=True))
+        return [_FROZENSET, encoded]
+    raise StorageError(
+        f"cannot persist a value of type {type(value).__name__}: {value!r}; "
+        "storable identifiers and elements are built from None, bool, int, "
+        "float, str, bytes, tuple and frozenset")
+
+
+def _decode(structure: list) -> Hashable:
+    tag = structure[0]
+    if tag == _NONE:
+        return None
+    if tag == _BOOL:
+        return bool(structure[1])
+    if tag == _INT:
+        return int(structure[1])
+    if tag == _FLOAT:
+        return float(structure[1])
+    if tag == _STR:
+        return structure[1]
+    if tag == _BYTES:
+        return bytes.fromhex(structure[1])
+    if tag == _TUPLE:
+        return tuple(_decode(item) for item in structure[1])
+    if tag == _FROZENSET:
+        return frozenset(_decode(item) for item in structure[1])
+    raise StorageError(f"unknown storage value tag {tag!r}")
+
+
+def encode_value(value: Hashable) -> str:
+    """Encode an identifier or element into its stored text form."""
+    return json.dumps(_encode(value), separators=(",", ":"),
+                      ensure_ascii=False)
+
+
+def decode_value(text: str) -> Hashable:
+    """Decode a stored text form back into the exact original value."""
+    try:
+        structure = json.loads(text)
+    except (TypeError, ValueError) as error:
+        raise StorageError(
+            f"stored value {text!r} is not a valid encoding: {error}") from None
+    if not isinstance(structure, list) or not structure:
+        raise StorageError(f"stored value {text!r} is not a tagged encoding")
+    return _decode(structure)

@@ -159,6 +159,41 @@ class JoinView:
         self._version = 0
         self._counters: dict[str, int] = {}
 
+    # -- durability ------------------------------------------------------------
+
+    def persist(self, destination, snapshot_every: int | None = None):
+        """Make this view durable: snapshot now, log every batch after.
+
+        Opens (or borrows) a :class:`~repro.storage.ViewStore` on
+        ``destination`` and attaches it, so each subsequent
+        :meth:`apply` commits its batch to the store's mutation log
+        before returning.  Returns the
+        :class:`~repro.storage.ViewSubscription`; call its ``detach()``
+        to stop logging.  After a crash, :meth:`recover` rebuilds the
+        exact pre-crash view from the file.
+        """
+        from repro.storage import ViewStore
+
+        return ViewStore(destination).attach(view=self,
+                                             snapshot_every=snapshot_every)
+
+    @classmethod
+    def recover(cls, source, *, engine=None) -> "JoinView":
+        """Rebuild a persisted view: load its snapshot, replay its log.
+
+        The recovered pair map is *bit-identical* to what the lost
+        process held after its last durably applied batch — replay runs
+        the incremental strategy, whose scores match a from-scratch
+        re-join exactly (the property the streaming test suite asserts).
+        ``engine`` is an optional
+        :class:`~repro.engine.engine.SimilarityEngine` for the rebuilt
+        view's future re-joins.
+        """
+        from repro.storage import ViewStore
+
+        with ViewStore(source) as store:
+            return store.load(engine=engine)
+
     # -- construction internals ----------------------------------------------
 
     def _derive_pairs(self) -> Iterator[tuple]:

@@ -41,6 +41,17 @@ def make_random_multisets(count: int, alphabet_size: int, max_elements: int,
 
 
 @pytest.fixture
+def storage_path(tmp_path) -> str:
+    """A per-test SQLite database path under pytest's managed tmp dir.
+
+    Every storage test writes through this fixture, so databases (and
+    their WAL side files) are cleaned up with the tmp dir and never leak
+    into the working tree.
+    """
+    return str(tmp_path / "store.sqlite")
+
+
+@pytest.fixture
 def small_multisets() -> list[Multiset]:
     """Forty small random multisets over a 60-element alphabet."""
     return make_random_multisets(40, alphabet_size=60, max_elements=25, seed=7)

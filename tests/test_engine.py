@@ -19,6 +19,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import (
+    JoinResult,
     JoinSpec,
     SimilarityEngine,
     available_algorithms,
@@ -35,6 +36,7 @@ from repro.analysis.experiments import run_algorithm
 from repro.baselines.inverted_index import InvertedIndexJoin
 from repro.baselines.ppjoin import PPJoin
 from repro.core.exceptions import (
+    DatasetError,
     JobConfigurationError,
     JobTimeoutError,
     MemoryBudgetExceeded,
@@ -652,6 +654,31 @@ class TestJoinResultLazyConsumption:
         rebuilt = [SimilarPair(record["first"], record["second"],
                                record["similarity"]) for record in decoded]
         assert rebuilt == result.pairs
+
+    def test_from_jsonl_round_trips_to_jsonl(self, result, tmp_path):
+        path = tmp_path / "pairs.jsonl"
+        result.to_jsonl(str(path))
+        # Blank and trailing lines must be tolerated, per the file format.
+        path.write_text(path.read_text() + "\n\n   \n")
+        back = JoinResult.from_jsonl(str(path))
+        assert back.pairs == result.pairs
+        assert back.algorithm == "import"
+        assert back.multisets == []
+        # A handle works too, and an explicit spec is carried through.
+        buffer = io.StringIO()
+        result.to_jsonl(buffer)
+        buffer.seek(0)
+        respecced = JoinResult.from_jsonl(buffer, spec=result.spec,
+                                          algorithm="replay")
+        assert respecced.pairs == result.pairs
+        assert respecced.spec == result.spec
+        assert respecced.algorithm == "replay"
+
+    def test_from_jsonl_rejects_non_pair_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"first": "a"}\n')
+        with pytest.raises(DatasetError, match="line 1"):
+            JoinResult.from_jsonl(str(path))
 
     def test_non_json_identifiers_export_via_repr(self, overlapping_multisets):
         from repro.core.multiset import Multiset

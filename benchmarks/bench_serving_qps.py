@@ -20,6 +20,7 @@ from repro.datasets.workload import (
     generate_query_workload,
     workload_statistics,
 )
+from repro.serving.api import QueryRequest
 from repro.serving.service import ShardedSimilarityService
 
 #: Threshold served by the replay (the paper's headline setting).
@@ -36,7 +37,8 @@ def _replay(num_shards: int, multisets, queries) -> dict[str, float]:
     started = time.perf_counter()
     total_matches = 0
     for query in queries:
-        total_matches += len(service.query_threshold(query, THRESHOLD))
+        total_matches += len(service.query(
+            QueryRequest.threshold(query, THRESHOLD)))
     elapsed = time.perf_counter() - started
     stats = service.stats()
     return {

@@ -41,7 +41,7 @@ from typing import Iterator
 #: what the gate exists to watch; only a bare ``seconds`` leaf (real timing,
 #: see :func:`is_noisy`) is excluded.
 NOISY_SUBSTRINGS = ("wall", "qps", "elapsed", "speedup", "usable_cores",
-                    "dict_seconds", "array_seconds", "per_second")
+                    "dict_seconds", "array_seconds", "per_second", "latency")
 
 #: Files produced by other tooling (pytest-benchmark's own dump) that are
 #: not bench_record series and never get baselines.

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro import JoinSpec, SimilarityEngine
 from repro.core.multiset import Multiset
+from repro.serving.api import QueryRequest
 from repro.datasets.ip_cookie import small_dataset_config, generate_ip_cookie_dataset
 from repro.mapreduce.cluster import laptop_cluster
 
@@ -48,7 +49,7 @@ def main() -> None:
     # immediately — no re-join required.
     template = service.node_for(proxy_ip).index.get(proxy_ip)
     newcomer = Multiset("10.99.99.99", dict(list(template.items())[:40]))
-    top = service.query_topk(newcomer, k=3)
+    top = service.query(QueryRequest.topk(newcomer, 3)).matches
     print(f"\nTop-3 matches for the newly observed {newcomer.id}:")
     for match in top:
         print(f"  {match.multiset_id:>14}  similarity={match.similarity:.3f}")

@@ -19,6 +19,7 @@ from repro import JoinSpec, SimilarityEngine, attach_serving
 from repro.datasets.ip_cookie import generate_ip_cookie_dataset, small_dataset_config
 from repro.datasets.workload import MutationStreamConfig, generate_mutation_stream
 from repro.mapreduce.cluster import laptop_cluster
+from repro.serving.api import QueryRequest
 from repro.serving.service import ShardedSimilarityService
 
 THRESHOLD = 0.5
@@ -71,7 +72,7 @@ def main() -> None:
 
         # The fleet's caches answer member queries without a posting scan.
         member = view.members()[0]
-        matches = service.query_threshold(member, THRESHOLD)
+        matches = service.query(QueryRequest.threshold(member, THRESHOLD))
         print(f"Fleet serves {member.id}: {len(matches)} matches, "
               f"{service.stats()['cache/hits']:.0f} cache hits so far.")
 

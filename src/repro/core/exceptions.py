@@ -143,6 +143,32 @@ class StorageError(ReproError):
     """
 
 
+class ServerError(ReproError):
+    """Raised by the network-facing serving tier (:mod:`repro.server`).
+
+    Covers server configuration errors (invalid queue capacities, admin
+    operations that the deployment mode does not support) and request
+    payloads that parse as JSON but do not describe a valid operation.
+    """
+
+
+class QueueFullError(ServerError):
+    """Raised when a bounded server queue rejects an admission.
+
+    Carries the backpressure hint the HTTP layer surfaces as a
+    ``Retry-After`` header alongside the 429 status.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0,
+                 queue: str = "") -> None:
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.queue = queue
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.retry_after_seconds, self.queue))
+
+
 class StreamingError(ReproError):
     """Raised by the incremental view-maintenance subsystem.
 

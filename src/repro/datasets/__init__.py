@@ -36,8 +36,11 @@ from repro.datasets.stats import (
 from repro.datasets.workload import (
     MutationStreamConfig,
     QueryWorkloadConfig,
+    RequestWorkloadConfig,
     generate_mutation_stream,
+    generate_open_loop_arrivals,
     generate_query_workload,
+    generate_request_workload,
     workload_statistics,
 )
 from repro.datasets.zipf import BoundedZipf, clipped_zipf_sizes
@@ -51,6 +54,7 @@ __all__ = [
     "IPCookieConfig",
     "MutationStreamConfig",
     "QueryWorkloadConfig",
+    "RequestWorkloadConfig",
     "clipped_zipf_sizes",
     "dataset_label",
     "elements_per_multiset",
@@ -58,8 +62,10 @@ __all__ = [
     "generate_document_corpus",
     "generate_ip_cookie_dataset",
     "generate_mutation_stream",
+    "generate_open_loop_arrivals",
     "generate_preset",
     "generate_query_workload",
+    "generate_request_workload",
     "input_tuples",
     "log_binned_histogram",
     "multisets_per_element",

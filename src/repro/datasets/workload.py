@@ -197,6 +197,106 @@ def generate_mutation_stream(multisets: Sequence[Multiset],
     return batches
 
 
+@dataclass(frozen=True)
+class RequestWorkloadConfig:
+    """Parameters of a synthetic unified-API request replay.
+
+    Builds on :class:`QueryWorkloadConfig` for the query multisets, then
+    wraps each one in a :class:`~repro.serving.api.QueryRequest` with a
+    configured threshold / top-k mix — the request stream the serving tier
+    and its HTTP front end execute directly.
+    """
+
+    num_requests: int = 1_000
+    #: Fraction of requests that are threshold queries (the rest are top-k).
+    threshold_fraction: float = 0.7
+    #: Similarity threshold of the threshold requests.
+    threshold: float = 0.5
+    #: ``k`` of the top-k requests.
+    k: int = 10
+    #: Zipf exponent of the query popularity ranks.
+    zipf_exponent: float = 1.2
+    #: Probability that a query is a perturbed copy of its source multiset.
+    perturbation_probability: float = 0.0
+    #: Random seed.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 0:
+            raise DatasetError(
+                f"num_requests must be non-negative, got {self.num_requests}")
+        if not (0.0 <= self.threshold_fraction <= 1.0):
+            raise DatasetError("threshold_fraction must be in [0, 1]")
+        if not (0.0 < self.threshold <= 1.0):
+            raise DatasetError(
+                f"threshold must be in (0, 1], got {self.threshold}")
+        if self.k < 1:
+            raise DatasetError(f"k must be >= 1, got {self.k}")
+        if self.zipf_exponent <= 0:
+            raise DatasetError(
+                f"zipf_exponent must be positive, got {self.zipf_exponent}")
+        if not (0.0 <= self.perturbation_probability <= 1.0):
+            raise DatasetError("perturbation_probability must be in [0, 1]")
+
+
+def generate_request_workload(multisets: Sequence[Multiset],
+                              config: RequestWorkloadConfig | None = None):
+    """Generate a seeded stream of :class:`~repro.serving.api.QueryRequest`.
+
+    The query multisets come from :func:`generate_query_workload` (same
+    Zipf-skewed popularity and optional perturbation); each is wrapped as a
+    threshold or top-k request per the configured mix.  The kind draw uses
+    its own seeded stream, so the multiset sequence is identical for every
+    mix — mix sweeps compare like against like.
+    """
+    # Deferred: the dataset package stays importable without the serving
+    # machinery at module-load time (same idiom as the streaming import).
+    from repro.serving.api import QueryRequest
+
+    config = config or RequestWorkloadConfig()
+    queries = generate_query_workload(multisets, QueryWorkloadConfig(
+        num_queries=config.num_requests,
+        zipf_exponent=config.zipf_exponent,
+        perturbation_probability=config.perturbation_probability,
+        seed=config.seed))
+    kind_rng = np.random.default_rng(config.seed + 1)
+    requests = []
+    for query in queries:
+        if kind_rng.random() < config.threshold_fraction:
+            requests.append(QueryRequest.threshold(query, config.threshold))
+        else:
+            requests.append(QueryRequest.topk(query, config.k))
+    return requests
+
+
+def generate_open_loop_arrivals(num_requests: int, rate_per_second: float,
+                                *, seed: int = 13) -> list[float]:
+    """Poisson-process arrival offsets (seconds) for an open-loop replay.
+
+    Closed-loop load generators hide queueing collapse: a slow server slows
+    its own clients down, so the measured latency stays flat.  Open-loop
+    replay fires requests at their scheduled arrival times regardless of
+    completions — the standard way to observe latency under a fixed offered
+    load.  Inter-arrival gaps are exponential with mean ``1/rate``, so the
+    offsets form a seeded Poisson process starting at 0.0.
+    """
+    if num_requests < 0:
+        raise DatasetError(
+            f"num_requests must be non-negative, got {num_requests}")
+    if rate_per_second <= 0:
+        raise DatasetError(
+            f"rate_per_second must be positive, got {rate_per_second}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_second, size=max(num_requests, 0))
+    offsets: list[float] = []
+    elapsed = 0.0
+    for position, gap in enumerate(gaps):
+        if position > 0:
+            elapsed += float(gap)
+        offsets.append(elapsed)
+    return offsets
+
+
 def workload_statistics(queries: Sequence[Multiset]) -> dict[str, float]:
     """Summarise a workload: distinct signatures and repeat (cacheable) rate.
 

@@ -1,0 +1,45 @@
+"""Network-facing async serving tier: HTTP/JSON over the sharded fleet.
+
+The package splits along transport-independent seams:
+
+* :mod:`repro.server.app` — :class:`SimilarityServerApp`, the
+  protocol-agnostic dispatcher (routes, bounded queues, lifecycle) plus the
+  ASGI adapter :func:`asgi_app` for uvicorn-style deployment;
+* :mod:`repro.server.http` — the stdlib :mod:`asyncio` HTTP/1.1 transport,
+  :func:`serve_forever` and the :class:`InProcessServer` test harness;
+* :mod:`repro.server.client` — :class:`SimilarityClient`, the synchronous
+  wire client raising :class:`RemoteServerError` with stable error codes;
+* :mod:`repro.server.queues` — :class:`CoalescingQueue`, the bounded
+  admission/batching primitive behind every endpoint;
+* :mod:`repro.server.errors` — the one exception-to-wire-code table;
+* :mod:`repro.server.loadgen` — closed- and open-loop load generators.
+
+Every transport decodes to the same :class:`~repro.serving.api.QueryRequest`
+family the Python API executes, so HTTP answers are bit-identical to
+direct :class:`~repro.serving.service.ShardedSimilarityService` calls.
+"""
+
+from repro.server.app import ServerConfig, SimilarityServerApp, asgi_app
+from repro.server.client import RemoteServerError, SimilarityClient
+from repro.server.errors import ERROR_TABLE, classify, error_body
+from repro.server.http import HttpServer, InProcessServer, serve_forever
+from repro.server.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.server.queues import CoalescingQueue
+
+__all__ = [
+    "CoalescingQueue",
+    "ERROR_TABLE",
+    "HttpServer",
+    "InProcessServer",
+    "LoadReport",
+    "RemoteServerError",
+    "ServerConfig",
+    "SimilarityClient",
+    "SimilarityServerApp",
+    "asgi_app",
+    "classify",
+    "error_body",
+    "run_closed_loop",
+    "run_open_loop",
+    "serve_forever",
+]

@@ -1,0 +1,520 @@
+"""The protocol-agnostic serving application behind every transport.
+
+:class:`SimilarityServerApp` maps ``(method, path, JSON payload)`` to JSON
+responses over a :class:`~repro.serving.service.ShardedSimilarityService`.
+Both transports — the stdlib :mod:`asyncio` HTTP/1.1 loop
+(:mod:`repro.server.http`) and the ASGI adapter (:func:`asgi_app`, runnable
+under uvicorn when installed) — delegate to the same :meth:`~SimilarityServerApp.handle`,
+so behaviour cannot drift between them.
+
+Endpoints
+---------
+
+=======  ==================  ====================================================
+Method   Path                Effect
+=======  ==================  ====================================================
+GET      /health             liveness + fleet identity
+GET      /stats              fleet snapshot + server queue statistics
+GET      /stats/shards       per-shard statistics breakdown
+POST     /query              one unified-API query (threshold or top-k)
+POST     /query/batch        many queries, coalesced into the batch path
+POST     /upsert             index (or replace) one multiset
+POST     /delete             drop one multiset
+POST     /admin/persist      save every shard's index to a directory
+POST     /admin/recover      reload the fleet from a persisted directory
+=======  ==================  ====================================================
+
+Writes are routed through bounded queues: one queue per shard when the app
+owns the service directly, or a single mutation queue feeding the PR-5
+:class:`~repro.streaming.view.JoinView` (upserts/deletes become
+:class:`~repro.streaming.changes.ChangeBatch` items and reach the service
+through its serving subscription, keeping the materialized pair set exact).
+Queries flow through one coalescing queue into
+:meth:`ShardedSimilarityService.batch
+<repro.serving.service.ShardedSimilarityService.batch>` so concurrent
+duplicate traffic pays a single index scan.  A full queue answers ``429``
+with a ``Retry-After`` hint — admission control, not unbounded latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.exceptions import ReproError, ServerError, ServingError
+from repro.serving.api import (
+    QueryRequest,
+    multiset_from_wire,
+    requests_from_batch_payload,
+)
+from repro.serving.service import ShardedSimilarityService
+from repro.server.errors import (
+    BAD_REQUEST,
+    METHOD_NOT_ALLOWED,
+    NOT_FOUND,
+    error_body,
+    simple_error,
+)
+from repro.server.queues import CoalescingQueue
+
+_UPSERT = "upsert"
+_DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning of the serving tier's queues and admission control."""
+
+    #: Bounded depth of the query admission queue.
+    query_queue_capacity: int = 256
+    #: Most queries coalesced into one ``service.batch`` execution.
+    query_max_batch: int = 32
+    #: Bounded depth of each write queue (per shard, or of the view queue).
+    write_queue_capacity: int = 256
+    #: Most writes applied per drained batch.
+    write_max_batch: int = 64
+    #: Batches allowed to execute concurrently across all queues.
+    max_in_flight: int = 4
+    #: Threads of the execution pool (keeps the event loop responsive).
+    executor_threads: int = 4
+    #: Backoff hint sent with 429 responses, in seconds.
+    retry_after_seconds: float = 1.0
+    #: Directory to persist every shard into during graceful shutdown.
+    persist_on_shutdown: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("query_queue_capacity", "query_max_batch",
+                     "write_queue_capacity", "write_max_batch",
+                     "max_in_flight", "executor_threads"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ServerError(f"{name} must be an int >= 1, got {value!r}")
+        if self.retry_after_seconds <= 0:
+            raise ServerError(
+                f"retry_after_seconds must be positive, "
+                f"got {self.retry_after_seconds!r}")
+
+
+class SimilarityServerApp:
+    """The serving application: routes, queues, and lifecycle.
+
+    Parameters
+    ----------
+    service:
+        The sharded fleet to serve.
+    view:
+        Optional :class:`~repro.streaming.view.JoinView`.  When given, the
+        app attaches the service to the view (loading it when empty) and
+        routes every write through the view's exact incremental
+        maintenance; the service then always serves the view's pair-set
+        state.  Without one, writes apply directly to the owning shard.
+    config:
+        Queue and admission tuning; defaults are test-friendly.
+    """
+
+    def __init__(self, service: ShardedSimilarityService, *,
+                 view=None, config: ServerConfig | None = None) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.view = view
+        self.lock = threading.RLock()
+        self._subscription = None
+        if view is not None:
+            from repro.streaming.subscribers import attach_serving
+
+            # warm=False: re-warming every member per write batch is the
+            # bootstrap-refresh pattern, not a serving-tier default.
+            self._subscription = attach_serving(view, service, warm=False)
+        self._executor: ThreadPoolExecutor | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._query_queue: CoalescingQueue | None = None
+        self._write_queues: list[CoalescingQueue] = []
+        self._started = False
+        self._closing = False
+        self.requests_served = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Create the executor, queues and workers on the running loop."""
+        if self._started:
+            return
+        config = self.config
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.executor_threads,
+            thread_name_prefix="repro-server")
+        self._semaphore = asyncio.Semaphore(config.max_in_flight)
+        self._query_queue = CoalescingQueue(
+            "queries", self._execute_queries,
+            capacity=config.query_queue_capacity,
+            max_batch=config.query_max_batch,
+            retry_after_seconds=config.retry_after_seconds)
+        self._query_queue.start(executor=self._executor, lock=self.lock,
+                                semaphore=self._semaphore)
+        self._write_queues = self._build_write_queues()
+        self._started = True
+        self._closing = False
+
+    def _build_write_queues(self) -> list[CoalescingQueue]:
+        config = self.config
+        if self.view is not None:
+            queues = [CoalescingQueue(
+                "mutations", self._execute_view_writes,
+                capacity=config.write_queue_capacity,
+                max_batch=config.write_max_batch,
+                retry_after_seconds=config.retry_after_seconds)]
+        else:
+            queues = [CoalescingQueue(
+                f"writes-shard{shard}", self._execute_direct_writes,
+                capacity=config.write_queue_capacity,
+                max_batch=config.write_max_batch,
+                retry_after_seconds=config.retry_after_seconds)
+                for shard in range(self.service.num_shards)]
+        for queue in queues:
+            queue.start(executor=self._executor, lock=self.lock,
+                        semaphore=self._semaphore)
+        return queues
+
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Stop admissions, drain (or reject) queues, optionally persist."""
+        if not self._started:
+            return
+        self._closing = True
+        if self._query_queue is not None:
+            await self._query_queue.close(drain=drain)
+        for queue in self._write_queues:
+            await queue.close(drain=drain)
+        if self.config.persist_on_shutdown is not None:
+            with self.lock:
+                self.service.persist(self.config.persist_on_shutdown)
+        if self._subscription is not None:
+            self._subscription.detach()
+            self._subscription = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        self._query_queue = None
+        self._write_queues = []
+        self._started = False
+
+    # -- queue executors (run on the thread pool, under the service lock) ------
+
+    def _execute_queries(self, requests: Sequence[QueryRequest]):
+        return self.service.batch(list(requests))
+
+    def _execute_direct_writes(self, writes: Sequence[tuple]):
+        acks = []
+        for kind, payload in writes:
+            if kind == _UPSERT:
+                replaced = payload.id in self.service
+                self.service.add(payload, replace=replaced)
+                acks.append({"indexed": payload.id, "replaced": replaced})
+            else:
+                self.service.remove(payload)
+                acks.append({"deleted": payload})
+        return acks
+
+    def _execute_view_writes(self, writes: Sequence[tuple]):
+        from repro.streaming.changes import Change, ChangeBatch
+
+        changes = []
+        for kind, payload in writes:
+            if kind == _UPSERT:
+                changes.append(Change.upsert(payload))
+            else:
+                changes.append(Change.delete(payload))
+        deltas = self.view.apply(ChangeBatch(changes))
+        acks = []
+        for kind, payload in writes:
+            if kind == _UPSERT:
+                acks.append({"indexed": payload.id,
+                             "pair_deltas": len(deltas)})
+            else:
+                acks.append({"deleted": payload, "pair_deltas": len(deltas)})
+        return acks
+
+    def _write_queue_for(self, multiset_id) -> CoalescingQueue:
+        if self.view is not None:
+            return self._write_queues[0]
+        return self._write_queues[self.service.shard_for(multiset_id)]
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def handle(self, method: str, path: str,
+                     payload: object | None) -> tuple[int, dict, dict]:
+        """Serve one request; returns ``(status, body, extra_headers)``.
+
+        ``payload`` is the decoded JSON body (``None`` for body-less
+        requests).  Every failure returns the structured error body of
+        :mod:`repro.server.errors`; nothing raises across this boundary
+        except transport-level bugs.
+        """
+        self.requests_served += 1
+        try:
+            return await self._route(method, path, payload)
+        except ReproError as error:
+            status, body = error_body(error)
+            headers = {}
+            if status == 429:
+                retry_after = body["error"].get("retry_after_seconds", 1.0)
+                headers["Retry-After"] = f"{max(retry_after, 0.001):.3f}"
+            return status, body, headers
+        except Exception as error:  # noqa: BLE001 — the wire must answer
+            status, body = error_body(error)
+            return status, body, {}
+
+    async def _route(self, method: str, path: str,
+                     payload: object | None) -> tuple[int, dict, dict]:
+        routes = {
+            "/health": self._handle_health,
+            "/stats": self._handle_stats,
+            "/stats/shards": self._handle_shard_stats,
+            "/query": self._handle_query,
+            "/query/batch": self._handle_query_batch,
+            "/upsert": self._handle_upsert,
+            "/delete": self._handle_delete,
+            "/admin/persist": self._handle_persist,
+            "/admin/recover": self._handle_recover,
+        }
+        handler = routes.get(path.rstrip("/") or "/")
+        if handler is None:
+            status, body = simple_error(
+                NOT_FOUND, f"no such endpoint: {path!r}")
+            return status, body, {}
+        expected = "GET" if path.rstrip("/") in ("/health", "/stats",
+                                                 "/stats/shards") else "POST"
+        if method != expected:
+            status, body = simple_error(
+                METHOD_NOT_ALLOWED,
+                f"{path} expects {expected}, got {method}")
+            return status, body, {"Allow": expected}
+        if expected == "POST" and not isinstance(payload, dict):
+            status, body = simple_error(
+                BAD_REQUEST,
+                f"{path} needs a JSON object body, got "
+                f"{type(payload).__name__}")
+            return status, body, {}
+        return await handler(payload)
+
+    def _require_started(self) -> None:
+        if not self._started or self._closing:
+            raise ServerError("the server is not accepting requests "
+                              "(not started or shutting down)")
+
+    @staticmethod
+    def _parse(decode, *arguments):
+        """Run a wire decoder, mapping its failures to 400 (``server_error``).
+
+        The codecs raise :class:`ServingError` (mapped to 409, the status of
+        execution-time state conflicts); a payload that cannot even be
+        decoded is a *bad request*, so the parse boundary re-raises as
+        :class:`ServerError`.
+        """
+        try:
+            return decode(*arguments)
+        except ServingError as error:
+            raise ServerError(str(error)) from None
+
+    async def _locked_in_executor(self, operation):
+        """Run ``operation`` on the thread pool, under the service lock.
+
+        The event loop must never block on :attr:`lock` directly — a batch
+        executing on the pool holds it, and a frozen loop can neither
+        answer ``/health`` nor shed load with 429s.
+        """
+        loop = asyncio.get_running_loop()
+
+        def locked():
+            with self.lock:
+                return operation()
+
+        return await loop.run_in_executor(self._executor, locked)
+
+    def _read_stats(self, reader):
+        """Read fleet statistics without taking the service lock.
+
+        Observability must stay answerable while a batch holds the lock
+        (that is precisely when operators look at ``/stats``), so reads are
+        lock-free; a concurrent write can make a dict iteration throw
+        ``RuntimeError``, in which case the read simply retries.
+        """
+        for _attempt in range(8):
+            try:
+                return reader()
+            except RuntimeError:
+                continue
+        raise ServerError(
+            "fleet statistics are churning faster than they can be read; "
+            "retry")
+
+    # -- endpoint handlers -----------------------------------------------------
+
+    async def _handle_health(self, payload) -> tuple[int, dict, dict]:
+        body = self._read_stats(lambda: {
+            "status": "ok",
+            "measure": self.service.measure.name,
+            "num_shards": self.service.num_shards,
+            "indexed_multisets": len(self.service),
+            "mode": "view" if self.view is not None else "direct"})
+        return 200, body, {}
+
+    async def _handle_stats(self, payload) -> tuple[int, dict, dict]:
+        snapshot = self._read_stats(self.service.snapshot)
+        snapshot["server"] = self.server_stats()
+        return 200, snapshot, {}
+
+    async def _handle_shard_stats(self, payload) -> tuple[int, dict, dict]:
+        per_node = self._read_stats(self.service.per_node_stats)
+        return 200, {"per_node": per_node}, {}
+
+    async def _handle_query(self, payload: dict) -> tuple[int, dict, dict]:
+        self._require_started()
+        request = self._parse(QueryRequest.from_json_dict, payload)
+        response = await self._query_queue.submit(request)
+        return 200, response.to_json_dict(), {}
+
+    async def _handle_query_batch(self, payload: dict) -> tuple[int, dict, dict]:
+        self._require_started()
+        requests = self._parse(requests_from_batch_payload, payload)
+        # Submitted individually: the coalescing worker re-batches them
+        # (together with any concurrent traffic) into single executions,
+        # and admission control applies per request.
+        futures = [self._query_queue.submit(request) for request in requests]
+        responses = await asyncio.gather(*futures)
+        return 200, {"responses": [response.to_json_dict()
+                                   for response in responses]}, {}
+
+    async def _handle_upsert(self, payload: dict) -> tuple[int, dict, dict]:
+        self._require_started()
+        if "multiset" not in payload:
+            raise ServerError("upsert needs a 'multiset' field")
+        multiset = self._parse(multiset_from_wire, payload["multiset"])
+        ack = await self._write_queue_for(multiset.id).submit(
+            (_UPSERT, multiset))
+        return 200, ack, {}
+
+    async def _handle_delete(self, payload: dict) -> tuple[int, dict, dict]:
+        self._require_started()
+        if "id" not in payload:
+            raise ServerError("delete needs an 'id' field")
+        ack = await self._write_queue_for(payload["id"]).submit(
+            (_DELETE, payload["id"]))
+        return 200, ack, {}
+
+    async def _handle_persist(self, payload: dict) -> tuple[int, dict, dict]:
+        self._require_started()
+        directory = payload.get("directory")
+        if not isinstance(directory, str) or not directory:
+            raise ServerError("admin/persist needs a 'directory' string")
+        paths = await self._locked_in_executor(
+            lambda: self.service.persist(directory))
+        return 200, {"persisted": paths,
+                     "num_shards": self.service.num_shards}, {}
+
+    async def _handle_recover(self, payload: dict) -> tuple[int, dict, dict]:
+        if self.view is not None:
+            raise ServerError(
+                "admin/recover is not available when writes flow through a "
+                "JoinView; recover the view (JoinView.recover) and restart "
+                "the server on it instead")
+        self._require_started()
+        directory = payload.get("directory")
+        if not isinstance(directory, str) or not directory:
+            raise ServerError("admin/recover needs a 'directory' string")
+        # Quiesce the write path: drain the per-shard queues, swap the
+        # fleet, then rebuild queues for the recovered shard count.
+        for queue in self._write_queues:
+            await queue.close(drain=True)
+
+        def swap():
+            with self.lock:
+                self.service = ShardedSimilarityService.recover(directory)
+                return {"recovered": True,
+                        "num_shards": self.service.num_shards,
+                        "indexed_multisets": len(self.service)}
+
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(self._executor, swap)
+        self._write_queues = self._build_write_queues()
+        return 200, body, {}
+
+    # -- observability ---------------------------------------------------------
+
+    def server_stats(self) -> dict:
+        """Queue depths, admission counters and in-flight configuration."""
+        queues = {}
+        if self._query_queue is not None:
+            queues[self._query_queue.name] = self._query_queue.stats()
+        for queue in self._write_queues:
+            queues[queue.name] = queue.stats()
+        return {
+            "mode": "view" if self.view is not None else "direct",
+            "accepting": self._started and not self._closing,
+            "requests_served": self.requests_served,
+            "max_in_flight": self.config.max_in_flight,
+            "queues": queues,
+        }
+
+
+def asgi_app(app: SimilarityServerApp):
+    """Wrap the app as an ASGI 3 callable (runnable under uvicorn).
+
+    Only the ``http`` scope type is served; ``lifespan`` events call the
+    app's :meth:`~SimilarityServerApp.startup` and
+    :meth:`~SimilarityServerApp.shutdown`, so
+    ``uvicorn repro.server:make_asgi_demo`` (or any factory producing this
+    wrapper) gets queues and graceful drain for free.
+    """
+    import json
+
+    async def application(scope, receive, send):
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await app.startup()
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await app.shutdown(drain=True)
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        elif scope["type"] == "http":
+            body = b""
+            while True:
+                message = await receive()
+                if message["type"] == "http.request":
+                    body += message.get("body", b"")
+                    if not message.get("more_body"):
+                        break
+                elif message["type"] == "http.disconnect":
+                    return
+            payload = None
+            if body:
+                try:
+                    payload = json.loads(body)
+                except ValueError:
+                    status, error = simple_error(
+                        BAD_REQUEST, "request body is not valid JSON")
+                    await _send_json(send, status, error, {})
+                    return
+            status, response, headers = await app.handle(
+                scope["method"], scope["path"], payload)
+            await _send_json(send, status, response, headers)
+        else:
+            raise ServerError(
+                f"unsupported ASGI scope type {scope['type']!r}")
+
+    async def _send_json(send, status, document, headers):
+        rendered = json.dumps(document).encode("utf-8")
+        header_pairs = [(b"content-type", b"application/json"),
+                        (b"content-length", str(len(rendered)).encode())]
+        header_pairs.extend((name.lower().encode(), str(value).encode())
+                            for name, value in headers.items())
+        await send({"type": "http.response.start", "status": status,
+                    "headers": header_pairs})
+        await send({"type": "http.response.body", "body": rendered})
+
+    return application

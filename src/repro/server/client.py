@@ -1,0 +1,149 @@
+"""A small synchronous client over :mod:`http.client`.
+
+The client is the other half of the wire contract: it encodes with the
+same :mod:`repro.serving.api` codec the server decodes with, and it turns
+structured error bodies back into :class:`RemoteServerError` carrying the
+machine-readable ``code`` (and ``retry_after_seconds`` for 429s), so callers
+branch on codes — never on message text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Sequence
+
+from repro.core.exceptions import ServerError
+from repro.core.multiset import Multiset, MultisetId
+from repro.serving.api import (
+    QueryRequest,
+    QueryResponse,
+    multiset_to_wire,
+)
+
+
+class RemoteServerError(ServerError):
+    """A structured error answer from the server.
+
+    Attributes mirror the wire body: ``code`` (stable machine-readable
+    string), ``status`` (HTTP), ``remote_type`` (server-side exception
+    class name) and ``retry_after_seconds`` (backoff hint, 429 only).
+    """
+
+    def __init__(self, message: str, *, code: str = "internal_error",
+                 status: int = 500, remote_type: str = "",
+                 retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = int(status)
+        self.remote_type = remote_type
+        self.retry_after_seconds = retry_after_seconds
+
+    @classmethod
+    def from_body(cls, status: int, body: dict) -> "RemoteServerError":
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        return cls(error.get("message", f"HTTP {status}"),
+                   code=error.get("code", "internal_error"),
+                   status=status,
+                   remote_type=error.get("type", ""),
+                   retry_after_seconds=error.get("retry_after_seconds"))
+
+
+class SimilarityClient:
+    """Synchronous JSON client for one similarity server."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One reconnect: the server may have closed a kept-alive socket.
+            self.close()
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        try:
+            document = json.loads(raw) if raw else {}
+        except ValueError:
+            raise ServerError(
+                f"server answered non-JSON ({response.status}): "
+                f"{raw[:200]!r}") from None
+        if response.status >= 400:
+            raise RemoteServerError.from_body(response.status, document)
+        return document
+
+    def close(self) -> None:
+        """Close the kept-alive connection (reopened on next use)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "SimilarityClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        """``GET /stats``: fleet snapshot + server queue statistics."""
+        return self._request("GET", "/stats")
+
+    def shard_stats(self) -> dict:
+        """``GET /stats/shards``: the per-shard breakdown."""
+        return self._request("GET", "/stats/shards")
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """``POST /query``: one unified-API query."""
+        document = self._request("POST", "/query", request.to_json_dict())
+        return QueryResponse.from_json_dict(document)
+
+    def query_batch(self,
+                    requests: Sequence[QueryRequest]) -> list[QueryResponse]:
+        """``POST /query/batch``: many queries in one round trip."""
+        document = self._request(
+            "POST", "/query/batch",
+            {"requests": [request.to_json_dict() for request in requests]})
+        return [QueryResponse.from_json_dict(entry)
+                for entry in document["responses"]]
+
+    def upsert(self, multiset: Multiset) -> dict:
+        """``POST /upsert``: index (or replace) one multiset."""
+        return self._request("POST", "/upsert",
+                             {"multiset": multiset_to_wire(multiset)})
+
+    def delete(self, multiset_id: MultisetId) -> dict:
+        """``POST /delete``: drop one multiset."""
+        return self._request("POST", "/delete", {"id": multiset_id})
+
+    def persist(self, directory: str) -> dict:
+        """``POST /admin/persist``: save every shard to ``directory``."""
+        return self._request("POST", "/admin/persist",
+                             {"directory": directory})
+
+    def recover(self, directory: str) -> dict:
+        """``POST /admin/recover``: reload the fleet from ``directory``."""
+        return self._request("POST", "/admin/recover",
+                             {"directory": directory})

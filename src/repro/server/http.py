@@ -1,0 +1,276 @@
+"""Stdlib HTTP/1.1 transport for :class:`~repro.server.app.SimilarityServerApp`.
+
+A deliberately small server on :func:`asyncio.start_server` — no
+third-party web framework — speaking enough HTTP/1.1 for JSON request /
+response bodies with keep-alive.  Production deployments can instead mount
+:func:`repro.server.app.asgi_app` under uvicorn; both transports call the
+same :meth:`~repro.server.app.SimilarityServerApp.handle`, so answers are
+identical by construction.
+
+:class:`InProcessServer` runs the event loop on a daemon thread so
+synchronous tests and benchmarks can drive a real TCP server with plain
+:mod:`http.client` connections, then drain it deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Awaitable, Callable
+
+from repro.core.exceptions import ServerError
+from repro.server.app import SimilarityServerApp
+from repro.server.errors import BAD_REQUEST, simple_error
+
+#: Largest accepted request body, in bytes.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Largest accepted request head (request line + headers), in bytes.
+MAX_HEAD_BYTES = 64 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 504: "Gateway Timeout",
+            507: "Insufficient Storage"}
+
+
+def _render_response(status: int, document: dict, headers: dict,
+                     *, keep_alive: bool) -> bytes:
+    body = json.dumps(document).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request; returns ``(method, path, payload, keep_alive)``.
+
+    Returns ``None`` on a cleanly closed connection, raises
+    :class:`ServerError` on malformed input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ServerError("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ServerError("request head exceeds the size limit") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise ServerError("request head exceeds the size limit")
+    request_line, *header_lines = head.decode("latin-1").split("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServerError(f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    headers = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length", "0")
+    if not length.isdigit():
+        raise ServerError(f"invalid Content-Length: {length!r}")
+    length = int(length)
+    if length > MAX_BODY_BYTES:
+        raise ServerError("request body exceeds the size limit")
+    body = await reader.readexactly(length) if length else b""
+    payload = None
+    if body:
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            raise ServerError("request body is not valid JSON") from None
+    connection = headers.get("connection", "").lower()
+    keep_alive = (version != "HTTP/1.0" or connection == "keep-alive")
+    if connection == "close":
+        keep_alive = False
+    path = target.split("?", 1)[0]
+    return method, path, payload, keep_alive
+
+
+class HttpServer:
+    """The asyncio TCP front end around one app."""
+
+    def __init__(self, app: SimilarityServerApp, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> tuple[str, int]:
+        """Start the app and listen; returns the bound ``(host, port)``."""
+        await self.app.startup()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port,
+            limit=MAX_HEAD_BYTES)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop listening, close connections, drain queues, shut the app."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.app.shutdown(drain=drain)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ServerError as error:
+                    status, body = simple_error(BAD_REQUEST, str(error))
+                    writer.write(_render_response(status, body, {},
+                                                  keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, payload, keep_alive = request
+                status, body, headers = await self.app.handle(
+                    method, path, payload)
+                writer.write(_render_response(status, body, headers,
+                                              keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+
+async def serve_forever(app: SimilarityServerApp, *, host: str = "127.0.0.1",
+                        port: int = 8042,
+                        ready: Callable[[str, int], None] | None = None,
+                        stop_signal: asyncio.Event | None = None) -> None:
+    """Run the server until ``stop_signal`` (or SIGTERM/SIGINT), then drain.
+
+    The CLI entry point (``python -m repro.server``) builds on this; tests
+    pass an explicit ``stop_signal`` event instead of signals.
+    """
+    server = HttpServer(app, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    if ready is not None:
+        ready(bound_host, bound_port)
+    stop = stop_signal or asyncio.Event()
+    if stop_signal is None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+    try:
+        await stop.wait()
+    finally:
+        await server.stop(drain=True)
+
+
+class InProcessServer:
+    """A live server on a daemon thread, for synchronous tests and benches.
+
+    Usage::
+
+        with InProcessServer(app) as server:
+            client = SimilarityClient(server.host, server.port)
+            ...
+
+    Exiting the context drains the queues and joins the loop thread, so a
+    passing test means graceful shutdown worked too.
+    """
+
+    def __init__(self, app: SimilarityServerApp, *, host: str = "127.0.0.1",
+                 port: int = 0, drain_on_close: bool = True) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.drain_on_close = drain_on_close
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: HttpServer | None = None
+
+    def __enter__(self) -> "InProcessServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def start(self) -> "InProcessServer":
+        if self._thread is not None:
+            raise ServerError("InProcessServer is already running")
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self._server = HttpServer(self.app, host=self.host,
+                                      port=self.port)
+            try:
+                self.host, self.port = loop.run_until_complete(
+                    self._server.start())
+            except BaseException as error:  # noqa: BLE001 — report to caller
+                failure.append(error)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-http",
+                                        daemon=True)
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._thread.join()
+            self._thread = None
+            raise failure[0]
+        return self
+
+    def run_coroutine(self, coroutine: Awaitable) -> object:
+        """Run a coroutine on the server's loop; returns its result."""
+        if self._loop is None:
+            raise ServerError("InProcessServer is not running")
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop).result(timeout=60)
+
+    def close(self) -> None:
+        """Drain, stop the server, and join the loop thread."""
+        if self._thread is None:
+            return
+        self.run_coroutine(self._server.stop(drain=self.drain_on_close))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+        self._loop = None
+        self._server = None

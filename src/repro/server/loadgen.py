@@ -1,0 +1,197 @@
+"""Closed- and open-loop load generation against a live server.
+
+Two replay disciplines, because they answer different questions:
+
+* **closed loop** (:func:`run_closed_loop`) — ``concurrency`` clients each
+  fire their next request as soon as the previous one answers.  Measures
+  the server's achievable throughput at a given concurrency, but a slow
+  server slows its own clients, so latency stays deceptively flat.
+* **open loop** (:func:`run_open_loop`) — requests fire at pre-scheduled
+  Poisson arrival times (:func:`~repro.datasets.workload.generate_open_loop_arrivals`)
+  regardless of completions.  Measures latency under a fixed *offered*
+  load, the discipline that actually exposes queueing collapse.
+
+Both return a :class:`LoadReport` with the percentile latencies the
+``bench_server_latency`` benchmark records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.exceptions import ServerError
+from repro.serving.api import QueryRequest
+from repro.server.client import RemoteServerError, SimilarityClient
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Latency and throughput summary of one replay."""
+
+    discipline: str
+    num_requests: int
+    num_errors: int
+    num_rejected: int
+    elapsed_seconds: float
+    qps: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    total_matches: int
+
+    def to_dict(self) -> dict:
+        """The report as a flat JSON-friendly dict (benchmark payload)."""
+        return {
+            "discipline": self.discipline,
+            "num_requests": self.num_requests,
+            "num_errors": self.num_errors,
+            "num_rejected": self.num_rejected,
+            "elapsed_seconds": self.elapsed_seconds,
+            "qps": self.qps,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "max_latency_ms": self.max_latency_ms,
+            "total_matches": self.total_matches,
+        }
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of pre-sorted values (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _build_report(discipline: str, latencies: list[float], errors: int,
+                  rejected: int, elapsed: float,
+                  total_matches: int) -> LoadReport:
+    ordered = sorted(latencies)
+    completed = len(ordered)
+    return LoadReport(
+        discipline=discipline,
+        num_requests=completed,
+        num_errors=errors,
+        num_rejected=rejected,
+        elapsed_seconds=elapsed,
+        qps=completed / elapsed if elapsed > 0 else 0.0,
+        p50_latency_ms=percentile(ordered, 0.50) * 1000.0,
+        p95_latency_ms=percentile(ordered, 0.95) * 1000.0,
+        p99_latency_ms=percentile(ordered, 0.99) * 1000.0,
+        max_latency_ms=ordered[-1] * 1000.0 if ordered else 0.0,
+        total_matches=total_matches)
+
+
+class _Tally:
+    """Thread-shared counters of one replay."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: list[float] = []
+        self.errors = 0
+        self.rejected = 0
+        self.total_matches = 0
+
+    def record(self, latency: float, matches: int) -> None:
+        with self.lock:
+            self.latencies.append(latency)
+            self.total_matches += matches
+
+    def record_failure(self, error: Exception) -> None:
+        with self.lock:
+            if (isinstance(error, RemoteServerError)
+                    and error.code == "queue_full"):
+                self.rejected += 1
+            else:
+                self.errors += 1
+
+
+def _fire(client: SimilarityClient, request: QueryRequest,
+          tally: _Tally) -> None:
+    started = time.perf_counter()
+    try:
+        response = client.query(request)
+    except ServerError as error:
+        tally.record_failure(error)
+    else:
+        tally.record(time.perf_counter() - started, len(response))
+
+
+def run_closed_loop(host: str, port: int, requests: Sequence[QueryRequest],
+                    *, concurrency: int = 4) -> LoadReport:
+    """Replay ``requests`` from ``concurrency`` closed-loop clients.
+
+    The request list is split round-robin across the clients; each client
+    reuses one kept-alive connection and fires its next request the moment
+    the previous one completes.
+    """
+    if concurrency < 1:
+        raise ServerError(f"concurrency must be >= 1, got {concurrency}")
+    tally = _Tally()
+
+    def worker(worker_requests: Sequence[QueryRequest]) -> None:
+        with SimilarityClient(host, port) as client:
+            for request in worker_requests:
+                _fire(client, request, tally)
+
+    threads = [threading.Thread(
+        target=worker, args=(requests[worker_id::concurrency],),
+        name=f"loadgen-{worker_id}")
+        for worker_id in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return _build_report("closed_loop", tally.latencies, tally.errors,
+                         tally.rejected, elapsed, tally.total_matches)
+
+
+def run_open_loop(host: str, port: int, requests: Sequence[QueryRequest],
+                  arrival_offsets: Sequence[float], *,
+                  max_threads: int = 64) -> LoadReport:
+    """Replay ``requests`` at fixed arrival times, regardless of completions.
+
+    ``arrival_offsets[i]`` is request ``i``'s scheduled firing time in
+    seconds from replay start (see
+    :func:`~repro.datasets.workload.generate_open_loop_arrivals`).  Each
+    in-flight request occupies one thread with its own connection, capped
+    at ``max_threads``; arrivals that would exceed the cap count as
+    client-side rejections (the open-loop analogue of a saturated client).
+    """
+    if len(arrival_offsets) != len(requests):
+        raise ServerError(
+            f"need one arrival offset per request, got "
+            f"{len(arrival_offsets)} offsets for {len(requests)} requests")
+    tally = _Tally()
+    in_flight: list[threading.Thread] = []
+    started = time.perf_counter()
+    for request, offset in zip(requests, arrival_offsets):
+        delay = offset - (time.perf_counter() - started)
+        if delay > 0:
+            time.sleep(delay)
+        in_flight = [thread for thread in in_flight if thread.is_alive()]
+        if len(in_flight) >= max_threads:
+            with tally.lock:
+                tally.rejected += 1
+            continue
+
+        def fire_once(bound_request: QueryRequest = request) -> None:
+            with SimilarityClient(host, port) as client:
+                _fire(client, bound_request, tally)
+
+        thread = threading.Thread(target=fire_once, name="loadgen-open")
+        thread.start()
+        in_flight.append(thread)
+    for thread in in_flight:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return _build_report("open_loop", tally.latencies, tally.errors,
+                         tally.rejected, elapsed, tally.total_matches)

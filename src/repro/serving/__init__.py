@@ -6,30 +6,52 @@ service.  The same partial-result decomposition the joining phase exploits
 through an inverted posting structure) supports *incremental* maintenance,
 so "what is similar to Q?" is answered online without re-running the join:
 
+* :class:`QueryRequest` / :class:`QueryOptions` / :class:`QueryResponse` —
+  the unified query API every layer speaks, whose JSON rendering is the
+  HTTP wire codec (:mod:`repro.server`);
 * :class:`SimilarityIndex` — the core incremental index with threshold and
   top-k queries, stop-word posting pruning and upper-bound early
   termination;
 * :class:`ServingNode` — an index behind an invalidating LRU result cache
   with batched query execution;
-* :class:`ShardedSimilarityService` — hash-sharded multi-node fan-out;
+* :class:`ShardedSimilarityService` — hash-sharded multi-node fan-out with
+  a fleet-wide :meth:`~ShardedSimilarityService.snapshot` and per-shard
+  :meth:`~ShardedSimilarityService.persist` /
+  :meth:`~ShardedSimilarityService.recover`;
 * :func:`bootstrap_from_join` — warm-start a fleet from a batch
   :class:`~repro.vsmart.driver.VSmartJoinResult` or pipeline dataset.
 """
 
+from repro.serving.api import (
+    QueryMatch,
+    QueryOptions,
+    QueryRequest,
+    QueryResponse,
+    finalize_matches,
+    multiset_from_wire,
+    multiset_to_wire,
+    sort_matches,
+)
 from repro.serving.bootstrap import bootstrap_from_join, multisets_from_input
 from repro.serving.cache import LRUResultCache
-from repro.serving.index import QueryMatch, SimilarityIndex, sort_matches
+from repro.serving.index import SimilarityIndex
 from repro.serving.node import ServingNode, query_signature
 from repro.serving.service import SHARD_SALT, ShardedSimilarityService, shard_for
 
 __all__ = [
     "LRUResultCache",
     "QueryMatch",
+    "QueryOptions",
+    "QueryRequest",
+    "QueryResponse",
     "SHARD_SALT",
     "ServingNode",
     "ShardedSimilarityService",
     "SimilarityIndex",
     "bootstrap_from_join",
+    "finalize_matches",
+    "multiset_from_wire",
+    "multiset_to_wire",
     "multisets_from_input",
     "query_signature",
     "shard_for",

@@ -31,7 +31,7 @@ from repro.core.records import (
 from repro.mapreduce.backends import ExecutionBackend, SerialBackend
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.dfs import Dataset
-from repro.serving.index import QueryMatch, sort_matches
+from repro.serving.api import QueryMatch, QueryRequest, sort_matches
 from repro.serving.service import ShardedSimilarityService
 from repro.similarity.base import NominalSimilarityMeasure
 from repro.similarity.registry import get_measure
@@ -233,9 +233,9 @@ def warm_member_caches(nodes, shard_for, members: Sequence[Multiset],
             shard: [] for shard in range(len(nodes))}
         for match in matches:
             per_shard[shard_for(match.multiset_id)].append(match)
+        request = QueryRequest.threshold(member, threshold)
         for shard, shard_matches in per_shard.items():
-            nodes[shard].warm_threshold(member, threshold,
-                                        sort_matches(shard_matches))
+            nodes[shard].warm(request, sort_matches(shard_matches))
 
 
 def _warm_from_pairs(service: ShardedSimilarityService,

@@ -38,12 +38,19 @@ a single float instead of a partial tuple per shared element.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.core.exceptions import ServingError
 from repro.core.interning import LocalInterner
 from repro.core.multiset import Element, Multiset, MultisetId
+from repro.serving.api import (
+    THRESHOLD_KIND,
+    QueryMatch,
+    QueryRequest,
+    QueryResponse,
+    deprecated_query_form,
+    sort_matches,
+)
 from repro.similarity.base import (
     NominalSimilarityMeasure,
     Partials,
@@ -53,36 +60,11 @@ from repro.similarity.kernels import scalar_conj_functions
 from repro.similarity.partials import fold_uni_multiplicities
 from repro.similarity.registry import get_measure
 
+__all__ = ["QueryMatch", "SimilarityIndex", "sort_matches"]
 
 #: Postings-key sentinel for query elements the interner has never seen;
 #: distinct from every real key (including a literal ``None`` element).
 _NEVER_INDEXED = object()
-
-
-@dataclass(frozen=True)
-class QueryMatch:
-    """One query answer: an indexed multiset and its similarity to the query."""
-
-    multiset_id: MultisetId
-    similarity: float
-
-
-def sort_matches(matches: Iterable[QueryMatch]) -> list[QueryMatch]:
-    """Sort matches by descending similarity, identifiers breaking ties.
-
-    Every query path (single index, cached node, sharded fan-out merge and
-    cache warm-up) sorts through this one function so results are
-    deterministic and mutually consistent.
-    """
-    materialised = list(matches)
-    try:
-        return sorted(materialised,
-                      key=lambda match: (-match.similarity, match.multiset_id))
-    except TypeError:
-        # Mixed identifier types are not mutually comparable; fall back to
-        # their representation, as the batch record types do.
-        return sorted(materialised,
-                      key=lambda match: (-match.similarity, repr(match.multiset_id)))
 
 
 class SimilarityIndex:
@@ -279,8 +261,50 @@ class SimilarityIndex:
 
     # -- queries ---------------------------------------------------------------
 
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer one unified-API query against the indexed state.
+
+        The canonical entry point: a threshold request returns every
+        indexed multiset at least ``threshold`` similar to the query, a
+        top-k request the ``k`` most similar — both sorted by descending
+        similarity, both exact whenever ``stop_word_frequency`` is unset.
+        The legacy keyword forms (:meth:`query_threshold`,
+        :meth:`query_topk`) delegate here and are deprecated.
+        """
+        options = request.options
+        if options.kind == THRESHOLD_KIND:
+            matches = self._threshold_matches(request.query, options.threshold)
+        else:
+            matches = self._topk_matches(request.query, options.k)
+        return QueryResponse(tuple(matches), options)
+
     def query_threshold(self, query: Multiset,
                         threshold: float) -> list[QueryMatch]:
+        """Deprecated alias of ``query(QueryRequest.threshold(...))``.
+
+        .. deprecated:: 1.6
+            Use :meth:`query` with the unified request dataclasses; this
+            form returns the same matches as ``query(...).matches``.
+        """
+        deprecated_query_form(
+            "SimilarityIndex.query_threshold(query, threshold)",
+            "SimilarityIndex.query(QueryRequest.threshold(query, threshold))")
+        return self._threshold_matches(query, threshold)
+
+    def query_topk(self, query: Multiset, k: int) -> list[QueryMatch]:
+        """Deprecated alias of ``query(QueryRequest.topk(...))``.
+
+        .. deprecated:: 1.6
+            Use :meth:`query` with the unified request dataclasses; this
+            form returns the same matches as ``query(...).matches``.
+        """
+        deprecated_query_form(
+            "SimilarityIndex.query_topk(query, k)",
+            "SimilarityIndex.query(QueryRequest.topk(query, k))")
+        return self._topk_matches(query, k)
+
+    def _threshold_matches(self, query: Multiset,
+                           threshold: float) -> list[QueryMatch]:
         """All indexed multisets with ``sim(query, Mi) >= threshold``.
 
         Results are sorted by descending similarity.  With
@@ -301,7 +325,7 @@ class SimilarityIndex:
         self._increment("serving/threshold_queries")
         return sort_matches(matches)
 
-    def query_topk(self, query: Multiset, k: int) -> list[QueryMatch]:
+    def _topk_matches(self, query: Multiset, k: int) -> list[QueryMatch]:
         """The ``k`` indexed multisets most similar to the query.
 
         Only multisets sharing at least one (non-pruned) element with the
@@ -343,7 +367,7 @@ class SimilarityIndex:
         multiset = self._multisets.get(multiset_id)
         if multiset is None:
             raise ServingError(f"multiset {multiset_id!r} is not indexed")
-        return [match for match in self.query_threshold(multiset, threshold)
+        return [match for match in self._threshold_matches(multiset, threshold)
                 if match.multiset_id != multiset_id]
 
     # -- internals -------------------------------------------------------------

@@ -21,8 +21,14 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.multiset import Multiset, MultisetId, content_signature
+from repro.serving.api import (
+    QueryMatch,
+    QueryRequest,
+    QueryResponse,
+    deprecated_query_form,
+)
 from repro.serving.cache import LRUResultCache
-from repro.serving.index import QueryMatch, SimilarityIndex
+from repro.serving.index import SimilarityIndex
 from repro.similarity.base import NominalSimilarityMeasure
 
 
@@ -102,64 +108,114 @@ class ServingNode:
 
     # -- queries ---------------------------------------------------------------
 
-    def _threshold_key(self, query: Multiset, threshold: float) -> tuple:
-        """The cache key of a threshold query; shared with warm_threshold.
+    def _request_key(self, request: QueryRequest) -> tuple:
+        """The cache key of a unified-API request.
 
         Includes the index's write version so entries from before any write
         — including writes applied directly to :attr:`index` — can never be
-        returned for the mutated state.
+        returned for the mutated state.  The options dataclass is frozen
+        and hashable, so one key shape covers every query kind.
         """
-        return ("threshold", self.index.version, query_signature(query),
-                float(threshold))
+        return (request.options, self.index.version,
+                query_signature(request.query))
 
-    def _cached(self, key: tuple, compute) -> list[QueryMatch]:
-        cached = self.cache.get(key)
-        if cached is not None:
-            return list(cached)
-        matches = compute()
-        self.cache.put(key, tuple(matches))
-        return matches
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer one unified-API query, served from the result cache."""
+        key = self._request_key(request)
+        matches = self.cache.get(key)
+        if matches is None:
+            matches = self.index.query(request).matches
+            self.cache.put(key, matches)
+        return QueryResponse(matches, request.options)
+
+    def batch(self, requests: Sequence[QueryRequest]) -> list[QueryResponse]:
+        """Execute a batch of requests, one index scan per distinct request.
+
+        Distinctness is by content signature *and* options, so replayed or
+        coalesced traffic pays a single scan even when the cache is cold or
+        disabled; the computed answer fans back out to every duplicate.
+        """
+        responses_by_key: dict[tuple, QueryResponse] = {}
+        responses: list[QueryResponse] = []
+        for request in requests:
+            key = self._request_key(request)
+            response = responses_by_key.get(key)
+            if response is None:
+                response = self.query(request)
+                responses_by_key[key] = response
+            responses.append(response)
+        return responses
 
     def query_threshold(self, query: Multiset,
                         threshold: float) -> list[QueryMatch]:
-        """Cached threshold query against this node's index."""
-        return self._cached(self._threshold_key(query, threshold),
-                            lambda: self.index.query_threshold(query, threshold))
+        """Deprecated alias of ``query(QueryRequest.threshold(...))``.
+
+        .. deprecated:: 1.6
+            Use :meth:`query`; this form returns the same matches as
+            ``query(...).matches``.
+        """
+        deprecated_query_form(
+            "ServingNode.query_threshold(query, threshold)",
+            "ServingNode.query(QueryRequest.threshold(query, threshold))")
+        return list(self.query(QueryRequest.threshold(query, threshold)))
 
     def query_topk(self, query: Multiset, k: int) -> list[QueryMatch]:
-        """Cached top-k query against this node's index."""
-        return self._cached(
-            ("topk", self.index.version, query_signature(query), int(k)),
-            lambda: self.index.query_topk(query, k))
+        """Deprecated alias of ``query(QueryRequest.topk(...))``.
+
+        .. deprecated:: 1.6
+            Use :meth:`query`; this form returns the same matches as
+            ``query(...).matches``.
+        """
+        deprecated_query_form(
+            "ServingNode.query_topk(query, k)",
+            "ServingNode.query(QueryRequest.topk(query, k))")
+        return list(self.query(QueryRequest.topk(query, k)))
 
     def batch_threshold(self, queries: Sequence[Multiset],
                         threshold: float) -> list[list[QueryMatch]]:
-        """Execute a batch of threshold queries, one scan per distinct query."""
-        return self._batch(queries,
-                           lambda query: self.query_threshold(query, threshold))
+        """Deprecated alias of :meth:`batch` over threshold requests.
+
+        .. deprecated:: 1.6
+            Use :meth:`batch` with :class:`QueryRequest` items.
+        """
+        deprecated_query_form(
+            "ServingNode.batch_threshold(queries, threshold)",
+            "ServingNode.batch([QueryRequest.threshold(q, threshold) ...])")
+        return [list(response) for response in self.batch(
+            [QueryRequest.threshold(query, threshold) for query in queries])]
 
     def batch_topk(self, queries: Sequence[Multiset],
                    k: int) -> list[list[QueryMatch]]:
-        """Execute a batch of top-k queries, one scan per distinct query."""
-        return self._batch(queries, lambda query: self.query_topk(query, k))
+        """Deprecated alias of :meth:`batch` over top-k requests.
 
-    def _batch(self, queries: Sequence[Multiset],
-               execute) -> list[list[QueryMatch]]:
-        results_by_signature: dict[frozenset, list[QueryMatch]] = {}
-        results: list[list[QueryMatch]] = []
-        for query in queries:
-            signature = query_signature(query)
-            if signature not in results_by_signature:
-                results_by_signature[signature] = execute(query)
-            results.append(list(results_by_signature[signature]))
-        return results
+        .. deprecated:: 1.6
+            Use :meth:`batch` with :class:`QueryRequest` items.
+        """
+        deprecated_query_form(
+            "ServingNode.batch_topk(queries, k)",
+            "ServingNode.batch([QueryRequest.topk(q, k) ...])")
+        return [list(response) for response in self.batch(
+            [QueryRequest.topk(query, k) for query in queries])]
 
     # -- cache warm-up (used by the join bootstrap) ----------------------------
 
+    def warm(self, request: QueryRequest,
+             matches: Sequence[QueryMatch]) -> None:
+        """Seed the cache with a precomputed answer for ``request``."""
+        self.cache.put(self._request_key(request), tuple(matches))
+
     def warm_threshold(self, query: Multiset, threshold: float,
                        matches: Sequence[QueryMatch]) -> None:
-        """Seed the cache with a precomputed threshold-query result."""
-        self.cache.put(self._threshold_key(query, threshold), tuple(matches))
+        """Deprecated alias of :meth:`warm` for threshold requests.
+
+        .. deprecated:: 1.6
+            Use ``warm(QueryRequest.threshold(query, threshold), matches)``.
+        """
+        deprecated_query_form(
+            "ServingNode.warm_threshold(query, threshold, matches)",
+            "ServingNode.warm(QueryRequest.threshold(query, threshold), "
+            "matches)")
+        self.warm(QueryRequest.threshold(query, threshold), matches)
 
     # -- observability ---------------------------------------------------------
 

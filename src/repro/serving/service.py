@@ -16,12 +16,20 @@ node; queries fan out to every node and merge:
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 from repro.core.exceptions import ServingError
 from repro.core.multiset import Multiset, MultisetId
 from repro.mapreduce.partitioner import stable_hash
-from repro.serving.index import QueryMatch, sort_matches
+from repro.serving.api import (
+    QueryMatch,
+    QueryRequest,
+    QueryResponse,
+    deprecated_query_form,
+    finalize_matches,
+)
+from repro.serving.index import SimilarityIndex
 from repro.serving.node import ServingNode
 from repro.similarity.base import NominalSimilarityMeasure
 
@@ -98,37 +106,83 @@ class ShardedSimilarityService:
 
     # -- queries (fan out to every shard, merge) -------------------------------
 
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer one unified-API query across all shards, merged.
+
+        Threshold answers concatenate the per-shard answers (shards are
+        disjoint, so no deduplication is needed) and re-sort; top-k answers
+        keep the global best ``k`` of the per-shard top-k union — correct
+        because every shard returns its own k best.
+        """
+        merged: list[QueryMatch] = []
+        for node in self.nodes:
+            merged.extend(node.query(request).matches)
+        return QueryResponse(finalize_matches(merged, request.options),
+                             request.options)
+
+    def batch(self, requests: Sequence[QueryRequest]) -> list[QueryResponse]:
+        """Execute a batch of requests: one per-shard batch, merged per item."""
+        per_node = [node.batch(requests) for node in self.nodes]
+        return [QueryResponse(
+                    finalize_matches(
+                        [match for responses in per_node
+                         for match in responses[position].matches],
+                        request.options),
+                    request.options)
+                for position, request in enumerate(requests)]
+
     def query_threshold(self, query: Multiset,
                         threshold: float) -> list[QueryMatch]:
-        """Threshold query across all shards, merged and re-sorted."""
-        merged: list[QueryMatch] = []
-        for node in self.nodes:
-            merged.extend(node.query_threshold(query, threshold))
-        return sort_matches(merged)
+        """Deprecated alias of ``query(QueryRequest.threshold(...))``.
+
+        .. deprecated:: 1.6
+            Use :meth:`query`; this form returns the same matches as
+            ``query(...).matches``.
+        """
+        deprecated_query_form(
+            "ShardedSimilarityService.query_threshold(query, threshold)",
+            "ShardedSimilarityService.query(QueryRequest.threshold(query, "
+            "threshold))")
+        return list(self.query(QueryRequest.threshold(query, threshold)))
 
     def query_topk(self, query: Multiset, k: int) -> list[QueryMatch]:
-        """Top-k query across all shards: per-shard top k, globally merged."""
-        merged: list[QueryMatch] = []
-        for node in self.nodes:
-            merged.extend(node.query_topk(query, k))
-        return sort_matches(merged)[:k]
+        """Deprecated alias of ``query(QueryRequest.topk(...))``.
+
+        .. deprecated:: 1.6
+            Use :meth:`query`; this form returns the same matches as
+            ``query(...).matches``.
+        """
+        deprecated_query_form(
+            "ShardedSimilarityService.query_topk(query, k)",
+            "ShardedSimilarityService.query(QueryRequest.topk(query, k))")
+        return list(self.query(QueryRequest.topk(query, k)))
 
     def batch_threshold(self, queries: Sequence[Multiset],
                         threshold: float) -> list[list[QueryMatch]]:
-        """Batched threshold queries: one per-shard batch, merged per query."""
-        per_node = [node.batch_threshold(queries, threshold)
-                    for node in self.nodes]
-        return [sort_matches([match for results in per_node
-                              for match in results[position]])
-                for position in range(len(queries))]
+        """Deprecated alias of :meth:`batch` over threshold requests.
+
+        .. deprecated:: 1.6
+            Use :meth:`batch` with :class:`QueryRequest` items.
+        """
+        deprecated_query_form(
+            "ShardedSimilarityService.batch_threshold(queries, threshold)",
+            "ShardedSimilarityService.batch([QueryRequest.threshold(q, "
+            "threshold) ...])")
+        return [list(response) for response in self.batch(
+            [QueryRequest.threshold(query, threshold) for query in queries])]
 
     def batch_topk(self, queries: Sequence[Multiset],
                    k: int) -> list[list[QueryMatch]]:
-        """Batched top-k queries: one per-shard batch, merged per query."""
-        per_node = [node.batch_topk(queries, k) for node in self.nodes]
-        return [sort_matches([match for results in per_node
-                              for match in results[position]])[:k]
-                for position in range(len(queries))]
+        """Deprecated alias of :meth:`batch` over top-k requests.
+
+        .. deprecated:: 1.6
+            Use :meth:`batch` with :class:`QueryRequest` items.
+        """
+        deprecated_query_form(
+            "ShardedSimilarityService.batch_topk(queries, k)",
+            "ShardedSimilarityService.batch([QueryRequest.topk(q, k) ...])")
+        return [list(response) for response in self.batch(
+            [QueryRequest.topk(query, k) for query in queries])]
 
     def neighbours(self, multiset_id: MultisetId,
                    threshold: float) -> list[QueryMatch]:
@@ -136,8 +190,63 @@ class ShardedSimilarityService:
         member = self.node_for(multiset_id).index.get(multiset_id)
         if member is None:
             raise ServingError(f"multiset {multiset_id!r} is not indexed")
-        return [match for match in self.query_threshold(member, threshold)
+        matches = self.query(QueryRequest.threshold(member, threshold)).matches
+        return [match for match in matches
                 if match.multiset_id != multiset_id]
+
+    # -- persistence (one SQLite file per shard) -------------------------------
+
+    def persist(self, directory: str | os.PathLike) -> list[str]:
+        """Save every shard's index into ``directory``; returns the paths.
+
+        One SQLite file per shard (``shard0000.sqlite``, ...), each written
+        through :meth:`ServingNode.persist
+        <repro.serving.node.ServingNode.persist>`.  :meth:`recover` restores
+        the fleet from the directory with bit-identical query answers —
+        shard routing is a stable content hash, so the shard count and
+        assignment survive the round-trip.
+        """
+        os.makedirs(directory, exist_ok=True)
+        paths: list[str] = []
+        for shard, node in enumerate(self.nodes):
+            path = os.path.join(os.fspath(directory),
+                                f"shard{shard:04d}.sqlite")
+            node.persist(path)
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def recover(cls, directory: str | os.PathLike, *,
+                cache_capacity: int = 1024) -> "ShardedSimilarityService":
+        """Restore a fleet persisted by :meth:`persist`.
+
+        The shard count is the number of ``shard*.sqlite`` files; each
+        node's index (measure, stop-word setting, interning, postings, Uni
+        partials) is loaded exactly, so the recovered service answers every
+        query identically to the one that persisted.  Result caches start
+        cold — they are version-keyed memoisation, rebuilt by traffic.
+        """
+        shard_files = sorted(
+            entry for entry in os.listdir(directory)
+            if entry.startswith("shard") and entry.endswith(".sqlite"))
+        if not shard_files:
+            raise ServingError(
+                f"no shard*.sqlite files found in {os.fspath(directory)!r}; "
+                "was the directory written by ShardedSimilarityService"
+                ".persist()?")
+        indexes = [SimilarityIndex.load(os.path.join(os.fspath(directory),
+                                                     entry))
+                   for entry in shard_files]
+        measures = {index.measure.name for index in indexes}
+        if len(measures) > 1:
+            raise ServingError(
+                f"shard files disagree on the measure: {sorted(measures)}")
+        service = cls(indexes[0].measure, len(indexes),
+                      cache_capacity=cache_capacity,
+                      stop_word_frequency=indexes[0].stop_word_frequency)
+        for node, index in zip(service.nodes, indexes):
+            node.index = index
+        return service
 
     # -- observability ---------------------------------------------------------
 
@@ -168,6 +277,24 @@ class ShardedSimilarityService:
         hit/miss/eviction counts — for dashboards that chart load balance.
         """
         return {node.name: node.stats() for node in self.nodes}
+
+    def snapshot(self) -> dict:
+        """One health/statistics document for the whole fleet.
+
+        Aggregates everything callers previously assembled by poking nodes:
+        the identity of the fleet (measure, shard count, indexed members),
+        the summed counters of :meth:`stats` (cache hits/misses/evictions
+        included) and the per-node breakdown of :meth:`per_node_stats`.
+        The HTTP ``/stats`` endpoint returns exactly this document, with
+        the server's own queue statistics merged alongside.
+        """
+        return {
+            "measure": self.measure.name,
+            "num_shards": self.num_shards,
+            "indexed_multisets": len(self),
+            "totals": self.stats(),
+            "per_node": self.per_node_stats(),
+        }
 
     def __repr__(self) -> str:
         return (f"ShardedSimilarityService(measure={self.measure.name!r}, "

@@ -46,6 +46,7 @@ from repro.engine.planner import CorpusProfile, Planner
 from repro.engine.spec import PLANNABLE_ALGORITHMS, SEQUENTIAL_ALGORITHMS
 from repro.mapreduce.cluster import HADOOP, laptop_cluster
 from repro.mapreduce.costmodel import CostParameters
+from repro.serving.api import QueryRequest
 from repro.serving.index import SimilarityIndex
 from repro.similarity.exact import all_pairs_exact
 from repro.similarity.registry import supported_measures
@@ -503,7 +504,7 @@ class TestJoinResult:
         assert isinstance(index, SimilarityIndex)
         assert len(index) == len(distributed_result.multisets)
         member = distributed_result.multisets[0]
-        matches = index.query_threshold(member, threshold=0.25)
+        matches = index.query(QueryRequest.threshold(member, 0.25)).matches
         partners = {m.multiset_id for m in matches} - {member.id}
         expected = {pair.second for pair in distributed_result.pairs
                     if pair.first == member.id}

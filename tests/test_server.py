@@ -1,0 +1,745 @@
+"""Tests for the network-facing serving tier (repro.server).
+
+Covers the exception-to-wire error table, the coalescing queues, the app
+dispatcher, the live HTTP end-to-end path (upsert → query → delete → query,
+bit-identical with direct service calls), backpressure (429 + Retry-After
+and recovery), graceful shutdown, admin persist/recover, the ASGI adapter
+and the load generators.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.core.exceptions import (
+    InvalidMultisetError,
+    QueueFullError,
+    ReproError,
+    ServerError,
+    ServingError,
+    StorageError,
+    StreamingError,
+)
+from repro.core.multiset import Multiset
+from repro.datasets.workload import (
+    RequestWorkloadConfig,
+    generate_open_loop_arrivals,
+    generate_request_workload,
+)
+from repro.engine import JoinSpec
+from repro.serving.api import QueryRequest, QueryResponse
+from repro.serving.service import ShardedSimilarityService
+from repro.server import (
+    ERROR_TABLE,
+    CoalescingQueue,
+    InProcessServer,
+    RemoteServerError,
+    ServerConfig,
+    SimilarityClient,
+    SimilarityServerApp,
+    asgi_app,
+    classify,
+    error_body,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.streaming.view import JoinView
+from tests.conftest import make_random_multisets
+
+
+def corpus(count=16, seed=5):
+    return make_random_multisets(count=count, alphabet_size=12,
+                                 max_elements=8, seed=seed)
+
+
+def make_service(num_shards=2, members=None):
+    service = ShardedSimilarityService("ruzicka", num_shards=num_shards)
+    service.bulk_load(corpus() if members is None else members)
+    return service
+
+
+# ---------------------------------------------------------------------------
+# The error table (satellite: one table, stable codes, tested per row)
+# ---------------------------------------------------------------------------
+
+class TestErrorTable:
+    @pytest.mark.parametrize("exception_class,code,status", ERROR_TABLE)
+    def test_every_row_maps_its_own_class(self, exception_class, code,
+                                          status):
+        error = exception_class.__new__(exception_class)
+        Exception.__init__(error, "boom")
+        assert classify(error) == (code, status)
+
+    def test_most_specific_row_wins(self):
+        assert classify(QueueFullError("full")) == ("queue_full", 429)
+        assert classify(ServerError("bad")) == ("server_error", 400)
+        assert classify(ServingError("conflict")) == ("serving_error", 409)
+        assert classify(StreamingError("bad batch")) == ("streaming_error", 409)
+        assert classify(StorageError("io")) == ("storage_error", 500)
+        assert classify(InvalidMultisetError("neg")) == ("invalid_multiset", 400)
+
+    def test_unlisted_repro_subclass_inherits_parent_row(self):
+        class CustomServingError(ServingError):
+            pass
+
+        assert classify(CustomServingError("x")) == ("serving_error", 409)
+
+    def test_base_repro_error_is_500(self):
+        assert classify(ReproError("generic")) == ("repro_error", 500)
+
+    def test_non_repro_exception_is_internal(self):
+        assert classify(ValueError("nope")) == ("internal_error", 500)
+
+    def test_error_body_shape(self):
+        status, body = error_body(ServingError("already indexed"))
+        assert status == 409
+        assert body == {"error": {"code": "serving_error", "status": 409,
+                                  "type": "ServingError",
+                                  "message": "already indexed"}}
+
+    def test_queue_full_body_carries_the_backoff_hint(self):
+        status, body = error_body(
+            QueueFullError("full", retry_after_seconds=2.5, queue="queries"))
+        assert status == 429
+        assert body["error"]["retry_after_seconds"] == 2.5
+        assert body["error"]["queue"] == "queries"
+
+
+# ---------------------------------------------------------------------------
+# CoalescingQueue
+# ---------------------------------------------------------------------------
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestCoalescingQueue:
+    def make_started(self, execute, **kwargs):
+        from concurrent.futures import ThreadPoolExecutor
+
+        queue = CoalescingQueue("test", execute, **kwargs)
+        executor = ThreadPoolExecutor(max_workers=1)
+        queue.start(executor=executor, lock=threading.Lock())
+        return queue, executor
+
+    def test_submits_coalesce_into_batches(self):
+        async def scenario():
+            batches = []
+
+            def execute(items):
+                batches.append(list(items))
+                return [item * 10 for item in items]
+
+            queue, executor = self.make_started(execute, max_batch=8)
+            futures = [queue.submit(i) for i in range(5)]
+            results = await asyncio.gather(*futures)
+            await queue.close()
+            executor.shutdown()
+            assert results == [0, 10, 20, 30, 40]
+            assert sum(len(batch) for batch in batches) == 5
+            assert queue.stats()["executed_items"] == 5
+            return batches
+
+        batches = run_async(scenario())
+        # The worker drains greedily: fewer batches than items.
+        assert len(batches) < 5
+
+    def test_full_queue_rejects_without_blocking(self):
+        async def scenario():
+            release = threading.Event()
+
+            def execute(items):
+                release.wait(10)
+                return [f"ran-{item}" for item in items]
+
+            queue, executor = self.make_started(execute, capacity=2,
+                                                max_batch=1)
+            first = queue.submit("executing")
+            # Give the worker the first item, then fill the queue.
+            while queue.stats()["depth"] > 0 \
+                    or queue.stats()["executed_batches"] > 0:
+                await asyncio.sleep(0.001)
+            queued = [queue.submit("queued-a"), queue.submit("queued-b")]
+            with pytest.raises(QueueFullError) as caught:
+                queue.submit("rejected")
+            assert caught.value.queue == "test"
+            assert caught.value.retry_after_seconds > 0
+            assert queue.stats()["rejected"] == 1
+            release.set()
+            results = await asyncio.gather(first, *queued)
+            await queue.close()
+            executor.shutdown()
+            assert results == ["ran-executing", "ran-queued-a",
+                               "ran-queued-b"]
+
+        run_async(scenario())
+
+    def test_execution_failure_fans_out_to_the_batch(self):
+        async def scenario():
+            def execute(items):
+                raise ServingError("shard exploded")
+
+            queue, executor = self.make_started(execute)
+            futures = [queue.submit(i) for i in range(3)]
+            for future in futures:
+                with pytest.raises(ServingError, match="shard exploded"):
+                    await future
+            await queue.close()
+            executor.shutdown()
+
+        run_async(scenario())
+
+    def test_close_without_drain_rejects_queued_items(self):
+        async def scenario():
+            release = threading.Event()
+
+            def execute(items):
+                release.wait(10)
+                return [f"ran-{item}" for item in items]
+
+            queue, executor = self.make_started(execute, max_batch=1)
+            executing = queue.submit("executing")
+            while queue.stats()["depth"] > 0:
+                await asyncio.sleep(0.001)
+            abandoned = queue.submit("abandoned")
+            # Rejection runs before close's first await; the worker is still
+            # blocked on "executing", so "abandoned" is deterministically
+            # still queued when it happens.
+            close_task = asyncio.ensure_future(queue.close(drain=False))
+            await asyncio.sleep(0)
+            release.set()
+            await close_task
+            executor.shutdown()
+            assert await executing == "ran-executing"
+            with pytest.raises(ServerError, match="shut down"):
+                await abandoned
+            with pytest.raises(QueueFullError):
+                queue.submit("after close")
+
+        run_async(scenario())
+
+
+# ---------------------------------------------------------------------------
+# App dispatch (no sockets)
+# ---------------------------------------------------------------------------
+
+async def started_app(**kwargs):
+    app = SimilarityServerApp(make_service(), **kwargs)
+    await app.startup()
+    return app
+
+
+class TestAppDispatch:
+    def test_unknown_path_is_404(self):
+        async def scenario():
+            app = await started_app()
+            status, body, _ = await app.handle("GET", "/nope", None)
+            await app.shutdown()
+            assert status == 404
+            assert body["error"]["code"] == "not_found"
+
+        run_async(scenario())
+
+    def test_wrong_method_is_405_with_allow(self):
+        async def scenario():
+            app = await started_app()
+            status, body, headers = await app.handle("DELETE", "/query", {})
+            get_status, _, _ = await app.handle("POST", "/health", {})
+            await app.shutdown()
+            assert (status, headers["Allow"]) == (405, "POST")
+            assert body["error"]["code"] == "method_not_allowed"
+            assert get_status == 405
+
+        run_async(scenario())
+
+    def test_non_object_body_is_400(self):
+        async def scenario():
+            app = await started_app()
+            status, body, _ = await app.handle("POST", "/query", [1, 2])
+            await app.shutdown()
+            assert status == 400
+            assert body["error"]["code"] == "bad_request"
+
+        run_async(scenario())
+
+    def test_malformed_query_payload_is_400_server_error(self):
+        async def scenario():
+            app = await started_app()
+            status, body, _ = await app.handle("POST", "/query",
+                                               {"query": {"id": "q"}})
+            await app.shutdown()
+            assert status == 400
+            assert body["error"]["code"] == "server_error"
+
+        run_async(scenario())
+
+    def test_trailing_slash_routes_too(self):
+        async def scenario():
+            app = await started_app()
+            status, body, _ = await app.handle("GET", "/health/", None)
+            await app.shutdown()
+            assert status == 200 and body["status"] == "ok"
+
+        run_async(scenario())
+
+    def test_stats_merges_fleet_snapshot_and_queues(self):
+        async def scenario():
+            app = await started_app()
+            status, body, _ = await app.handle("GET", "/stats", None)
+            await app.shutdown()
+            assert status == 200
+            assert body["measure"] == "ruzicka"
+            assert set(body["server"]["queues"]) \
+                == {"queries", "writes-shard0", "writes-shard1"}
+            assert body["server"]["mode"] == "direct"
+            assert "cache/hit_rate" in body["totals"]
+
+        run_async(scenario())
+
+    def test_requests_after_shutdown_are_rejected(self):
+        async def scenario():
+            app = await started_app()
+            await app.shutdown()
+            request = QueryRequest.topk(Multiset("q", {"e0": 1}), 2)
+            status, body, _ = await app.handle("POST", "/query",
+                                               request.to_json_dict())
+            assert status == 400
+            assert "not accepting" in body["error"]["message"]
+
+        run_async(scenario())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ServerError, match="query_queue_capacity"):
+            ServerConfig(query_queue_capacity=0)
+        with pytest.raises(ServerError, match="retry_after_seconds"):
+            ServerConfig(retry_after_seconds=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Live HTTP end-to-end (satellite: wire == direct, bit-identical)
+# ---------------------------------------------------------------------------
+
+class TestHttpEndToEnd:
+    def test_upsert_query_delete_query_matches_direct_calls(self):
+        members = corpus()
+        service = make_service(members=members)
+        # The twin executes the same operations directly, in process.
+        twin = make_service(members=members)
+        app = SimilarityServerApp(service)
+        with InProcessServer(app) as server:
+            with SimilarityClient(server.host, server.port) as client:
+                newcomer = Multiset("fresh", {"e0": 3, "e1": 1, "zz": 2})
+                probe = QueryRequest.threshold(
+                    newcomer.with_id("probe"), 0.2)
+
+                ack = client.upsert(newcomer)
+                twin.add(newcomer)
+                assert ack == {"indexed": "fresh", "replaced": False}
+
+                assert client.query(probe) == twin.query(probe)
+                assert "fresh" in client.query(probe).ids()
+
+                assert client.delete("fresh") == {"deleted": "fresh"}
+                twin.remove("fresh")
+                assert client.query(probe) == twin.query(probe)
+                assert "fresh" not in client.query(probe).ids()
+
+                ranking = QueryRequest.topk(members[0].with_id("probe"), 5)
+                assert client.query(ranking) == twin.query(ranking)
+
+    def test_batch_endpoint_matches_direct_batch(self):
+        service = make_service()
+        app = SimilarityServerApp(service)
+        requests = generate_request_workload(
+            corpus(), RequestWorkloadConfig(num_requests=12, seed=9))
+        with InProcessServer(app) as server:
+            with SimilarityClient(server.host, server.port) as client:
+                over_wire = client.query_batch(requests)
+        assert over_wire == service.batch(requests)
+
+    def test_replace_upsert_reports_replaced(self):
+        app = SimilarityServerApp(make_service())
+        with InProcessServer(app) as server:
+            with SimilarityClient(server.host, server.port) as client:
+                client.upsert(Multiset("twice", {"a": 1}))
+                ack = client.upsert(Multiset("twice", {"b": 2}))
+        assert ack == {"indexed": "twice", "replaced": True}
+
+    def test_delete_of_unknown_id_is_409_serving_error(self):
+        app = SimilarityServerApp(make_service())
+        with InProcessServer(app) as server:
+            with SimilarityClient(server.host, server.port) as client:
+                with pytest.raises(RemoteServerError) as caught:
+                    client.delete("ghost")
+        assert caught.value.code == "serving_error"
+        assert caught.value.status == 409
+
+    def test_health_and_shard_stats(self):
+        app = SimilarityServerApp(make_service(num_shards=3))
+        with InProcessServer(app) as server:
+            with SimilarityClient(server.host, server.port) as client:
+                health = client.health()
+                shards = client.shard_stats()
+        assert health["status"] == "ok"
+        assert health["num_shards"] == 3
+        assert set(shards["per_node"]) == {"node0", "node1", "node2"}
+
+    def test_malformed_json_body_is_400(self):
+        app = SimilarityServerApp(make_service())
+        with InProcessServer(app) as server:
+            connection = http.client.HTTPConnection(server.host, server.port,
+                                                    timeout=10)
+            connection.request("POST", "/query", body=b"{nope",
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            connection.close()
+        assert response.status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_admin_persist_and_recover_round_trip(self):
+        members = corpus()
+        app = SimilarityServerApp(make_service(members=members))
+        probe = QueryRequest.threshold(members[0].with_id("probe"), 0.3)
+        with tempfile.TemporaryDirectory() as directory:
+            target = os.path.join(directory, "snap")
+            with InProcessServer(app) as server:
+                with SimilarityClient(server.host, server.port) as client:
+                    before = client.query(probe)
+                    persisted = client.persist(target)
+                    assert persisted["num_shards"] == 2
+                    assert all(os.path.exists(path)
+                               for path in persisted["persisted"])
+                    recovered = client.recover(target)
+                    assert recovered == {"recovered": True, "num_shards": 2,
+                                         "indexed_multisets": len(members)}
+                    # The recovered fleet answers identically and still
+                    # accepts writes through the rebuilt queues.
+                    assert client.query(probe) == before
+                    client.upsert(Multiset("fresh", {"e0": 1}))
+                    assert client.delete("fresh") == {"deleted": "fresh"}
+
+    def test_view_mode_routes_writes_through_the_join_view(self):
+        members = corpus()
+        view = JoinView(JoinSpec(measure="ruzicka", threshold=0.5,
+                                 algorithm="exact"), members)
+        service = ShardedSimilarityService("ruzicka", num_shards=2)
+        app = SimilarityServerApp(service, view=view)
+        with InProcessServer(app) as server:
+            with SimilarityClient(server.host, server.port) as client:
+                assert client.health()["mode"] == "view"
+                newcomer = Multiset("vnew", dict(members[0].items()))
+                ack = client.upsert(newcomer)
+                assert ack["indexed"] == "vnew"
+                assert "pair_deltas" in ack
+                assert "vnew" in view
+                assert "vnew" in service
+                client.delete("vnew")
+                assert "vnew" not in view
+                assert "vnew" not in service
+                # recover is a direct-mode operation.
+                with pytest.raises(RemoteServerError) as caught:
+                    client.recover("/nonexistent")
+                assert caught.value.code == "server_error"
+
+
+# ---------------------------------------------------------------------------
+# Backpressure (satellite: fill the queue, 429 + Retry-After, recover)
+# ---------------------------------------------------------------------------
+
+class TestBackpressure:
+    def test_full_queue_answers_429_then_recovers(self):
+        service = make_service()
+        config = ServerConfig(query_queue_capacity=2, query_max_batch=1,
+                              max_in_flight=1, executor_threads=1,
+                              retry_after_seconds=0.25)
+        app = SimilarityServerApp(service, config=config)
+        release = threading.Event()
+        original = app._execute_queries
+
+        def blocked_execute(requests):
+            release.wait(30)
+            return original(requests)
+
+        app._execute_queries = blocked_execute
+        request = QueryRequest.threshold(corpus()[0].with_id("probe"), 0.3)
+
+        with InProcessServer(app) as server:
+            stats_client = SimilarityClient(server.host, server.port)
+
+            def queue_depth():
+                queues = stats_client.stats()["server"]["queues"]
+                return (queues["queries"]["admitted"],
+                        queues["queries"]["depth"])
+
+            answers = []
+            workers = []
+            # Admit three requests: one executing (blocked), two queued.
+            for admitted_target, depth_target in ((1, 0), (2, 1), (3, 2)):
+                worker = threading.Thread(
+                    target=lambda: answers.append(
+                        SimilarityClient(server.host,
+                                         server.port).query(request)))
+                worker.start()
+                workers.append(worker)
+                deadline = time.monotonic() + 10
+                while queue_depth() != (admitted_target, depth_target):
+                    assert time.monotonic() < deadline, \
+                        f"queue never reached {admitted_target}/{depth_target}"
+                    time.sleep(0.002)
+
+            # The queue is full: the next request is shed at the door.
+            connection = http.client.HTTPConnection(server.host, server.port,
+                                                    timeout=10)
+            connection.request(
+                "POST", "/query",
+                body=json.dumps(request.to_json_dict()).encode(),
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            rejected_body = json.loads(response.read())
+            retry_after = response.getheader("Retry-After")
+            connection.close()
+
+            assert response.status == 429
+            assert rejected_body["error"]["code"] == "queue_full"
+            assert rejected_body["error"]["retry_after_seconds"] == 0.25
+            assert float(retry_after) == pytest.approx(0.25)
+
+            # Unblock: the admitted requests complete, new traffic flows.
+            release.set()
+            for worker in workers:
+                worker.join(timeout=30)
+            assert len(answers) == 3
+            assert answers[0] == answers[1] == answers[2]
+            recovered = stats_client.query(request)
+            assert recovered == answers[0]
+            queues = stats_client.stats()["server"]["queues"]
+            assert queues["queries"]["rejected"] == 1
+            stats_client.close()
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown
+# ---------------------------------------------------------------------------
+
+class TestGracefulShutdown:
+    def test_drain_completes_queued_work(self):
+        async def scenario():
+            app = SimilarityServerApp(
+                make_service(),
+                config=ServerConfig(query_max_batch=1, executor_threads=1))
+            await app.startup()
+            request = QueryRequest.topk(corpus()[0].with_id("probe"), 3)
+            direct = app.service.batch([request])[0]
+            tasks = [asyncio.ensure_future(
+                app.handle("POST", "/query", request.to_json_dict()))
+                for _ in range(6)]
+            # Let admissions land, then drain while work is still queued.
+            await asyncio.sleep(0)
+            await app.shutdown(drain=True)
+            results = await asyncio.gather(*tasks)
+            assert all(status == 200 for status, _, _ in results)
+            for _, body, _ in results:
+                assert QueryResponse.from_json_dict(body) == direct
+
+        run_async(scenario())
+
+    def test_persist_on_shutdown_writes_a_recoverable_fleet(self):
+        members = corpus()
+        with tempfile.TemporaryDirectory() as directory:
+            target = os.path.join(directory, "final")
+
+            async def scenario():
+                app = SimilarityServerApp(
+                    make_service(members=members),
+                    config=ServerConfig(persist_on_shutdown=target))
+                await app.startup()
+                await app.shutdown(drain=True)
+
+            run_async(scenario())
+            recovered = ShardedSimilarityService.recover(target)
+        twin = make_service(members=members)
+        probe = QueryRequest.threshold(members[0].with_id("probe"), 0.3)
+        assert recovered.query(probe) == twin.query(probe)
+
+
+# ---------------------------------------------------------------------------
+# ASGI adapter
+# ---------------------------------------------------------------------------
+
+class FakeASGIConnection:
+    """Minimal ASGI receive/send pair; ``receive`` blocks until ``push``."""
+
+    def __init__(self, messages=()):
+        self.incoming: asyncio.Queue = asyncio.Queue()
+        for message in messages:
+            self.incoming.put_nowait(message)
+        self.sent = []
+
+    def push(self, message):
+        self.incoming.put_nowait(message)
+
+    async def receive(self):
+        return await self.incoming.get()
+
+    async def send(self, message):
+        self.sent.append(message)
+
+
+class TestASGIAdapter:
+    def test_http_scope_answers_like_direct_calls(self):
+        service = make_service()
+        app = SimilarityServerApp(service)
+        application = asgi_app(app)
+        request = QueryRequest.topk(corpus()[0].with_id("probe"), 4)
+
+        async def scenario():
+            lifespan = FakeASGIConnection([{"type": "lifespan.startup"}])
+            lifespan_task = asyncio.ensure_future(application(
+                {"type": "lifespan"}, lifespan.receive, lifespan.send))
+            while not lifespan.sent:
+                await asyncio.sleep(0.001)
+            assert lifespan.sent[0] == {"type": "lifespan.startup.complete"}
+
+            http_connection = FakeASGIConnection([
+                {"type": "http.request",
+                 "body": json.dumps(request.to_json_dict()).encode(),
+                 "more_body": False}])
+            await application(
+                {"type": "http", "method": "POST", "path": "/query"},
+                http_connection.receive, http_connection.send)
+            start, body = http_connection.sent
+            assert start["status"] == 200
+            assert (b"content-type", b"application/json") in start["headers"]
+            parsed = QueryResponse.from_json_dict(json.loads(body["body"]))
+
+            lifespan.push({"type": "lifespan.shutdown"})
+            await lifespan_task
+            assert lifespan.sent[-1] == {"type": "lifespan.shutdown.complete"}
+            return parsed
+
+        parsed = run_async(scenario())
+        assert parsed == service.batch([request])[0]
+
+    def test_http_scope_surfaces_errors_as_json(self):
+        async def scenario():
+            app = SimilarityServerApp(make_service())
+            application = asgi_app(app)
+            await app.startup()
+            connection = FakeASGIConnection([
+                {"type": "http.request", "body": b"{broken",
+                 "more_body": False}])
+            await application(
+                {"type": "http", "method": "POST", "path": "/query"},
+                connection.receive, connection.send)
+            await app.shutdown()
+            start, body = connection.sent
+            assert start["status"] == 400
+            assert json.loads(body["body"])["error"]["code"] == "bad_request"
+
+        run_async(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Load generators (tentpole: closed- and open-loop replay)
+# ---------------------------------------------------------------------------
+
+class TestLoadGenerators:
+    def test_closed_loop_replays_everything(self):
+        members = corpus()
+        service = make_service(members=members)
+        requests = generate_request_workload(
+            members, RequestWorkloadConfig(num_requests=40, seed=21))
+        app = SimilarityServerApp(service)
+        with InProcessServer(app) as server:
+            report = run_closed_loop(server.host, server.port, requests,
+                                     concurrency=4)
+        assert report.discipline == "closed_loop"
+        assert report.num_requests == 40
+        assert report.num_errors == 0
+        assert report.num_rejected == 0
+        assert report.qps > 0
+        assert report.p50_latency_ms <= report.p95_latency_ms \
+            <= report.p99_latency_ms <= report.max_latency_ms
+        # Answer volume matches a direct replay exactly.
+        direct = sum(len(response) for response in service.batch(requests))
+        assert report.total_matches == direct
+
+    def test_open_loop_replays_at_scheduled_arrivals(self):
+        members = corpus()
+        requests = generate_request_workload(
+            members, RequestWorkloadConfig(num_requests=20, seed=22))
+        arrivals = generate_open_loop_arrivals(20, 2000.0, seed=4)
+        assert len(arrivals) == 20
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+        app = SimilarityServerApp(make_service(members=members))
+        with InProcessServer(app) as server:
+            report = run_open_loop(server.host, server.port, requests,
+                                   arrivals)
+        assert report.discipline == "open_loop"
+        assert report.num_requests + report.num_rejected == 20
+        assert report.num_errors == 0
+
+    def test_report_serialises_flat(self):
+        members = corpus()
+        app = SimilarityServerApp(make_service(members=members))
+        requests = generate_request_workload(
+            members, RequestWorkloadConfig(num_requests=5, seed=1))
+        with InProcessServer(app) as server:
+            report = run_closed_loop(server.host, server.port, requests,
+                                     concurrency=1)
+        payload = report.to_dict()
+        assert json.dumps(payload)  # JSON-safe
+        assert payload["num_requests"] == 5
+
+    def test_request_workload_mix_and_determinism(self):
+        members = corpus()
+        config = RequestWorkloadConfig(num_requests=50,
+                                       threshold_fraction=0.5, seed=33)
+        first = generate_request_workload(members, config)
+        second = generate_request_workload(members, config)
+        assert first == second
+        kinds = {request.options.kind for request in first}
+        assert kinds == {"threshold", "topk"}
+        # Same multiset stream for every mix: only the options differ.
+        all_threshold = generate_request_workload(
+            members, RequestWorkloadConfig(num_requests=50,
+                                           threshold_fraction=1.0, seed=33))
+        assert [request.query for request in first] \
+            == [request.query for request in all_threshold]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCommandLine:
+    def test_build_app_demo_and_persist_flags(self):
+        from repro.server.__main__ import build_app, build_parser
+
+        args = build_parser().parse_args(
+            ["--shards", "2", "--measure", "jaccard", "--demo", "8"])
+        app = build_app(args)
+        assert app.service.num_shards == 2
+        assert app.service.measure.name == "jaccard"
+        assert len(app.service) == 8
+
+    def test_build_app_recover_flag(self):
+        members = corpus()
+        with tempfile.TemporaryDirectory() as directory:
+            make_service(members=members).persist(directory)
+            from repro.server.__main__ import build_app, build_parser
+
+            args = build_parser().parse_args(["--recover", directory])
+            app = build_app(args)
+        assert len(app.service) == len(members)
+        assert app.service.num_shards == 2

@@ -16,6 +16,7 @@ from repro.datasets.workload import (
 )
 from repro.mapreduce.cluster import laptop_cluster
 from repro.mapreduce.dfs import Dataset
+from repro.serving.api import QueryRequest
 from repro.serving.bootstrap import bootstrap_from_join, multisets_from_input
 from repro.serving.cache import LRUResultCache
 from repro.serving.index import QueryMatch, SimilarityIndex, sort_matches
@@ -25,6 +26,16 @@ from repro.similarity.registry import get_measure, supported_measures
 from repro.engine.engine import join
 from repro.vsmart.driver import VSmartJoin, VSmartJoinConfig
 from tests.conftest import make_random_multisets
+
+
+def threshold_matches(target, query: Multiset, threshold: float) -> list:
+    """Unified-API threshold query, unwrapped to the old list-of-matches."""
+    return list(target.query(QueryRequest.threshold(query, threshold)).matches)
+
+
+def topk_matches(target, query: Multiset, k: int) -> list:
+    """Unified-API top-k query, unwrapped to the old list-of-matches."""
+    return list(target.query(QueryRequest.topk(query, k)).matches)
 
 
 def index_pair_dictionary(index: SimilarityIndex, threshold: float) -> dict:
@@ -148,7 +159,7 @@ class TestTopK:
             index.bulk_load(small_multisets)
             query = small_multisets[0]
             for k in (1, 3, 10):
-                matches = index.query_topk(query, k)
+                matches = topk_matches(index, query, k)
                 assert len(matches) <= k
                 exact = sorted((measure.similarity(query, member)
                                 for member in small_multisets), reverse=True)
@@ -162,7 +173,7 @@ class TestTopK:
         index = SimilarityIndex("ruzicka")
         index.bulk_load(small_multisets)
         query = small_multisets[3]
-        for match in index.query_topk(query, 5):
+        for match in topk_matches(index, query, 5):
             member = index.get(match.multiset_id)
             assert match.similarity == pytest.approx(
                 measure.similarity(query, member))
@@ -170,18 +181,18 @@ class TestTopK:
     def test_topk_larger_than_candidates(self):
         index = SimilarityIndex("ruzicka")
         index.add(Multiset("m", {"x": 1}))
-        matches = index.query_topk(Multiset("q", {"x": 1, "y": 2}), 10)
+        matches = topk_matches(index, Multiset("q", {"x": 1, "y": 2}), 10)
         assert [match.multiset_id for match in matches] == ["m"]
 
     def test_topk_invalid_k_rejected(self):
         with pytest.raises(ServingError):
-            SimilarityIndex("ruzicka").query_topk(Multiset("q", {"x": 1}), 0)
+            topk_matches(SimilarityIndex("ruzicka"), Multiset("q", {"x": 1}), 0)
 
     def test_topk_early_termination_fires(self, small_multisets):
         index = SimilarityIndex("ruzicka")
         index.bulk_load(small_multisets)
         for query in small_multisets:
-            index.query_topk(query, 1)
+            topk_matches(index, query, 1)
         assert index.counters().get("serving/topk_early_terminations", 0) > 0
 
 
@@ -201,7 +212,7 @@ class TestUpperBoundPruning:
         index = SimilarityIndex("vector_cosine")
         index.add(Multiset("y", {"e": 3 * 94906267}))
         query = Multiset("x", {"e": 94906267})
-        matches = index.query_threshold(query, 1.0)
+        matches = threshold_matches(index, query, 1.0)
         assert [match.multiset_id for match in matches] == ["y"]
         assert matches[0].similarity == pytest.approx(1.0)
 
@@ -209,7 +220,7 @@ class TestUpperBoundPruning:
         index = SimilarityIndex("ruzicka")
         index.bulk_load(small_multisets)
         for query in small_multisets:
-            index.query_threshold(query, 0.9)
+            threshold_matches(index, query, 0.9)
         counters = index.counters()
         assert counters.get("serving/candidates_pruned", 0) > 0
         assert counters["serving/threshold_queries"] == len(small_multisets)
@@ -225,9 +236,9 @@ class TestStopWordPruning:
         pruned.bulk_load(members)
         query = Multiset("q", {"hot": 1, "rare0": 2})
         exact_ids = {match.multiset_id
-                     for match in exact.query_threshold(query, 0.2)}
+                     for match in threshold_matches(exact, query, 0.2)}
         pruned_ids = {match.multiset_id
-                      for match in pruned.query_threshold(query, 0.2)}
+                      for match in threshold_matches(pruned, query, 0.2)}
         # The hot element is the only link to m1..m9, so pruning drops them.
         assert pruned_ids == {"m0"}
         assert pruned_ids < exact_ids
@@ -240,8 +251,8 @@ class TestStopWordPruning:
                                    stop_word_frequency=len(small_multisets))
         generous.bulk_load(small_multisets)
         for query in small_multisets[:5]:
-            assert (generous.query_threshold(query, 0.3)
-                    == exact.query_threshold(query, 0.3))
+            assert (threshold_matches(generous, query, 0.3)
+                    == threshold_matches(exact, query, 0.3))
 
 
 class TestIncrementalMaintenance:
@@ -273,9 +284,9 @@ class TestIncrementalMaintenance:
 
         assert set(churned.ids()) == set(fresh.ids())
         query = small_multisets[1]
-        assert (churned.query_threshold(query, 0.3)
-                == fresh.query_threshold(query, 0.3))
-        assert churned.query_topk(query, 5) == fresh.query_topk(query, 5)
+        assert (threshold_matches(churned, query, 0.3)
+                == threshold_matches(fresh, query, 0.3))
+        assert topk_matches(churned, query, 5) == topk_matches(fresh, query, 5)
         assert (index_pair_dictionary(churned, 0.4)
                 == index_pair_dictionary(fresh, 0.4))
 
@@ -324,8 +335,8 @@ class TestServingNode:
         node = ServingNode("ruzicka", cache_capacity=16)
         node.bulk_load(small_multisets)
         query = small_multisets[0]
-        first = node.query_threshold(query, 0.4)
-        second = node.query_threshold(query, 0.4)
+        first = threshold_matches(node, query, 0.4)
+        second = threshold_matches(node, query, 0.4)
         assert first == second
         assert node.cache.hits == 1
         # Only one index scan happened for the two calls.
@@ -335,9 +346,9 @@ class TestServingNode:
         node = ServingNode("ruzicka", cache_capacity=16)
         node.bulk_load(small_multisets)
         query = small_multisets[0].with_id("query")
-        before = node.query_threshold(query, 0.4)
+        before = threshold_matches(node, query, 0.4)
         node.add(small_multisets[0].with_id("twin"))
-        after = node.query_threshold(query, 0.4)
+        after = threshold_matches(node, query, 0.4)
         assert {match.multiset_id for match in after} \
             == {match.multiset_id for match in before} | {"twin"}
 
@@ -347,23 +358,23 @@ class TestServingNode:
         node.bulk_load(overlapping_multisets)
         query = overlapping_multisets[0].with_id("probe")
         before = {match.multiset_id
-                  for match in node.query_threshold(query, 0.4)}
+                  for match in threshold_matches(node, query, 0.4)}
         # Bypass the node: write straight to the underlying index.
         node.index.remove("b")
-        after = {match.multiset_id for match in node.query_threshold(query, 0.4)}
+        after = {match.multiset_id for match in threshold_matches(node, query, 0.4)}
         assert "b" in before and "b" not in after
 
     def test_failed_bulk_load_still_invalidates(self, overlapping_multisets):
         node = ServingNode("ruzicka", cache_capacity=16)
         node.bulk_load(overlapping_multisets[:1])
         query = overlapping_multisets[0].with_id("query")
-        node.query_threshold(query, 0.4)
+        threshold_matches(node, query, 0.4)
         # The batch mutates the index ('b' lands) before the duplicate 'a'
         # is rejected — the stale cached answer must not survive.
         with pytest.raises(ServingError):
             node.bulk_load([overlapping_multisets[1], overlapping_multisets[0]])
         assert {match.multiset_id
-                for match in node.query_threshold(query, 0.4)} == {"a", "b"}
+                for match in threshold_matches(node, query, 0.4)} == {"a", "b"}
 
     def test_query_signature_ignores_identifier_and_order(self):
         first = Multiset("a", [("x", 1), ("y", 2)])
@@ -374,22 +385,26 @@ class TestServingNode:
         node = ServingNode("ruzicka", cache_capacity=0)  # cache disabled
         node.bulk_load(small_multisets)
         query = small_multisets[0]
-        results = node.batch_threshold([query, query.with_id("copy"), query], 0.4)
-        assert len(results) == 3
-        assert results[0] == results[1] == results[2]
+        responses = node.batch(
+            [QueryRequest.threshold(q, 0.4)
+             for q in (query, query.with_id("copy"), query)])
+        assert len(responses) == 3
+        assert (responses[0].matches == responses[1].matches
+                == responses[2].matches)
         assert node.index.counters()["serving/threshold_queries"] == 1
 
     def test_batch_topk(self, small_multisets):
         node = ServingNode("ruzicka")
         node.bulk_load(small_multisets)
         queries = small_multisets[:4]
-        results = node.batch_topk(queries, 3)
-        assert results == [node.query_topk(query, 3) for query in queries]
+        responses = node.batch([QueryRequest.topk(q, 3) for q in queries])
+        assert [list(response.matches) for response in responses] \
+            == [topk_matches(node, query, 3) for query in queries]
 
     def test_stats_merge_index_and_cache(self, small_multisets):
         node = ServingNode("ruzicka")
         node.bulk_load(small_multisets)
-        node.query_threshold(small_multisets[0], 0.5)
+        threshold_matches(node, small_multisets[0], 0.5)
         stats = node.stats()
         assert stats["indexed_multisets"] == len(small_multisets)
         assert stats["serving/threshold_queries"] == 1
@@ -415,22 +430,26 @@ class TestShardedService:
         service = ShardedSimilarityService("ruzicka", num_shards=num_shards)
         service.bulk_load(small_multisets)
         for query in small_multisets[:8]:
-            expected = single.query_threshold(query, 0.4)
-            assert service.query_threshold(query, 0.4) == expected
+            expected = threshold_matches(single, query, 0.4)
+            assert threshold_matches(service, query, 0.4) == expected
             expected_topk = [match.similarity
-                             for match in single.query_topk(query, 5)]
+                             for match in topk_matches(single, query, 5)]
             found_topk = [match.similarity
-                          for match in service.query_topk(query, 5)]
+                          for match in topk_matches(service, query, 5)]
             assert found_topk == pytest.approx(expected_topk)
 
     def test_batch_queries_match_loop(self, small_multisets):
         service = ShardedSimilarityService("ruzicka", num_shards=3)
         service.bulk_load(small_multisets)
         queries = small_multisets[:5]
-        assert service.batch_threshold(queries, 0.4) \
-            == [service.query_threshold(query, 0.4) for query in queries]
-        assert service.batch_topk(queries, 4) \
-            == [service.query_topk(query, 4) for query in queries]
+        threshold_responses = service.batch(
+            [QueryRequest.threshold(q, 0.4) for q in queries])
+        assert [list(response.matches) for response in threshold_responses] \
+            == [threshold_matches(service, query, 0.4) for query in queries]
+        topk_responses = service.batch(
+            [QueryRequest.topk(q, 4) for q in queries])
+        assert [list(response.matches) for response in topk_responses] \
+            == [topk_matches(service, query, 4) for query in queries]
 
     def test_writes_route_to_owning_shard(self, small_multisets):
         service = ShardedSimilarityService("ruzicka", num_shards=4)
@@ -502,8 +521,8 @@ class TestBootstrap:
         fresh.bulk_load(small_multisets)
         hits_before = service.stats()["cache/hits"]
         for member in small_multisets:
-            warmed = service.query_threshold(member, threshold)
-            expected = fresh.query_threshold(member, threshold)
+            warmed = threshold_matches(service, member, threshold)
+            expected = threshold_matches(fresh, member, threshold)
             assert [match.multiset_id for match in warmed] \
                 == [match.multiset_id for match in expected]
             assert [match.similarity for match in warmed] \
@@ -571,9 +590,9 @@ class TestBootstrap:
                                      cluster=test_cluster, backend="thread")
         for member in small_multisets:
             assert [(m.multiset_id, m.similarity)
-                    for m in inline.query_threshold(member, threshold)] \
+                    for m in threshold_matches(inline, member, threshold)] \
                 == [(m.multiset_id, m.similarity)
-                    for m in explicit.query_threshold(member, threshold)]
+                    for m in threshold_matches(explicit, member, threshold)]
         # The inline join warmed the caches just like the explicit one.
         assert inline.stats()["cache/hits"] == explicit.stats()["cache/hits"]
 
@@ -683,9 +702,9 @@ class TestInternedIndex:
         interned = self.build(small_multisets, measure=measure, intern=True)
         plain = self.build(small_multisets, measure=measure, intern=False)
         for query in small_multisets[:6]:
-            assert (interned.query_threshold(query, 0.4)
-                    == plain.query_threshold(query, 0.4))
-            assert interned.query_topk(query, 5) == plain.query_topk(query, 5)
+            assert (threshold_matches(interned, query, 0.4)
+                    == threshold_matches(plain, query, 0.4))
+            assert topk_matches(interned, query, 5) == topk_matches(plain, query, 5)
 
     def test_remove_retracts_interned_postings(self, overlapping_multisets):
         index = self.build(overlapping_multisets, intern=True)
@@ -693,13 +712,13 @@ class TestInternedIndex:
         index.remove("a")
         assert index.num_postings < postings_before
         assert "a" not in index
-        matches = index.query_threshold(overlapping_multisets[1], 0.9)
+        matches = threshold_matches(index, overlapping_multisets[1], 0.9)
         assert all(match.multiset_id != "a" for match in matches)
 
     def test_unknown_query_elements_skip_scanning(self, overlapping_multisets):
         index = self.build(overlapping_multisets, intern=True)
         stranger = Multiset("query", {"never-indexed-1": 2, "never-indexed-2": 1})
-        assert index.query_threshold(stranger, 0.1) == []
+        assert threshold_matches(index, stranger, 0.1) == []
         assert index.counters().get("serving/postings_scanned", 0) == 0
 
     @pytest.mark.parametrize("intern", [True, False])
@@ -708,7 +727,7 @@ class TestInternedIndex:
         # "never indexed" marker on either index representation.
         index = SimilarityIndex("ruzicka", intern=intern)
         index.add(Multiset("a", {None: 3, "x": 1}))
-        matches = index.query_threshold(Multiset("q", {None: 3, "x": 1}), 0.9)
+        matches = threshold_matches(index, Multiset("q", {None: 3, "x": 1}), 0.9)
         assert [match.multiset_id for match in matches] == ["a"]
         assert matches[0].similarity == 1.0
         index.remove("a")
@@ -716,7 +735,7 @@ class TestInternedIndex:
 
     def test_upper_bound_pruning_still_counts(self, small_multisets):
         index = self.build(small_multisets, intern=True)
-        index.query_threshold(small_multisets[0], 0.95)
+        threshold_matches(index, small_multisets[0], 0.95)
         counters = index.counters()
         assert counters["serving/candidates_examined"] > 0
 
@@ -728,16 +747,16 @@ class TestCacheCounterExposure:
         node = ServingNode("ruzicka", cache_capacity=2)
         node.bulk_load(overlapping_multisets)
         query = overlapping_multisets[0]
-        node.query_threshold(query, 0.5)
-        node.query_threshold(query, 0.5)
+        threshold_matches(node, query, 0.5)
+        threshold_matches(node, query, 0.5)
         assert node.cache_hits == 1
         assert node.cache_misses == 1
         assert node.cache_evictions == 0
         # Two more content-distinct entries overflow the capacity-2 cache
         # (multisets "a" and "b" share a content signature, so index 1
         # would be a hit, not a new entry).
-        node.query_threshold(overlapping_multisets[2], 0.5)
-        node.query_threshold(overlapping_multisets[3], 0.5)
+        threshold_matches(node, overlapping_multisets[2], 0.5)
+        threshold_matches(node, overlapping_multisets[3], 0.5)
         assert node.cache_evictions == 1
         stats = node.stats()
         assert stats["cache/hits"] == node.cache_hits
@@ -749,8 +768,8 @@ class TestCacheCounterExposure:
                                            cache_capacity=8)
         service.bulk_load(small_multisets)
         for query in small_multisets[:4]:
-            service.query_threshold(query, 0.5)
-            service.query_threshold(query, 0.5)
+            threshold_matches(service, query, 0.5)
+            threshold_matches(service, query, 0.5)
         per_node = service.per_node_stats()
         assert set(per_node) == {"node0", "node1", "node2"}
         totals = service.stats()
@@ -875,7 +894,7 @@ class ServingNodeModelMachine(RuleBasedStateMachine):
     def query_threshold_matches_brute_force(self, data, threshold):
         query = self._draw_query(data)
         expected = self._expected_threshold(query, threshold)
-        found = self.node.query_threshold(query, threshold)
+        found = threshold_matches(self.node, query, threshold)
         assert [match.multiset_id for match in found] \
             == [match.multiset_id for match in expected]
         assert [match.similarity for match in found] \
@@ -883,7 +902,7 @@ class ServingNodeModelMachine(RuleBasedStateMachine):
         # Asking again returns the identical answer; with a cache it is a
         # hit, without one it recomputes — either way no drift.
         hits_before = self.node.cache_hits
-        assert self.node.query_threshold(query, threshold) == found
+        assert threshold_matches(self.node, query, threshold) == found
         if self.capacity > 0:
             assert self.node.cache_hits == hits_before + 1
         else:
@@ -896,7 +915,7 @@ class ServingNodeModelMachine(RuleBasedStateMachine):
         # supported measure those are exactly the positive similarities.
         expected = sort_matches(
             match for match in self._expected_threshold(query, 1e-12))[:k]
-        found = self.node.query_topk(query, k)
+        found = topk_matches(self.node, query, k)
         assert [match.multiset_id for match in found] \
             == [match.multiset_id for match in expected]
         assert [match.similarity for match in found] \

@@ -1,0 +1,307 @@
+"""Tests for the unified query/response API (repro.serving.api).
+
+Covers the dataclass family's validation and JSON codec, parity between
+the deprecated keyword forms and the unified entry points across all three
+serving layers, the fleet snapshot document, and the sharded service's
+persist/recover round trip.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+from repro.core.exceptions import ServingError
+from repro.core.multiset import Multiset
+from repro.serving.api import (
+    QueryMatch,
+    QueryOptions,
+    QueryRequest,
+    QueryResponse,
+    finalize_matches,
+    multiset_from_wire,
+    multiset_to_wire,
+    requests_from_batch_payload,
+)
+from repro.serving.index import SimilarityIndex
+from repro.serving.node import ServingNode
+from repro.serving.service import ShardedSimilarityService
+from tests.conftest import make_random_multisets
+
+
+def corpus(count=12, seed=3):
+    return make_random_multisets(count=count, alphabet_size=14,
+                                 max_elements=8, seed=seed)
+
+
+@pytest.fixture()
+def service(request):
+    fleet = ShardedSimilarityService("ruzicka", num_shards=3)
+    fleet.bulk_load(corpus())
+    return fleet
+
+
+# ---------------------------------------------------------------------------
+# QueryOptions / QueryRequest / QueryResponse validation
+# ---------------------------------------------------------------------------
+
+class TestQueryOptions:
+    def test_threshold_options(self):
+        options = QueryOptions.for_threshold(0.4)
+        assert options.kind == "threshold"
+        assert options.threshold == pytest.approx(0.4)
+        assert options.k is None
+
+    def test_topk_options(self):
+        options = QueryOptions.for_topk(5)
+        assert options.kind == "topk"
+        assert options.k == 5
+        assert options.threshold is None
+
+    def test_threshold_is_coerced_to_float(self):
+        assert isinstance(QueryOptions.for_threshold(1).threshold, float)
+
+    def test_options_are_hashable_cache_keys(self):
+        assert hash(QueryOptions.for_topk(3)) == hash(QueryOptions.for_topk(3))
+        assert QueryOptions.for_threshold(0.5) != QueryOptions.for_topk(5)
+
+    @pytest.mark.parametrize("bad", [
+        dict(kind="threshold"),                      # missing threshold
+        dict(kind="threshold", threshold=0.5, k=3),  # both fields
+        dict(kind="threshold", threshold=0.0),       # out of (0, 1]
+        dict(kind="threshold", threshold=1.5),
+        dict(kind="topk"),                           # missing k
+        dict(kind="topk", k=3, threshold=0.5),       # both fields
+        dict(kind="topk", k=0),
+        dict(kind="topk", k=True),                   # bools are not counts
+        dict(kind="topk", k=2.0),
+        dict(kind="nearest", k=3),                   # unknown kind
+    ])
+    def test_invalid_options_rejected(self, bad):
+        with pytest.raises(ServingError):
+            QueryOptions(**bad)
+
+    def test_json_round_trip(self):
+        for options in (QueryOptions.for_threshold(0.37),
+                        QueryOptions.for_topk(9)):
+            assert QueryOptions.from_json_dict(options.to_json_dict()) \
+                == options
+
+    def test_unknown_wire_fields_rejected(self):
+        with pytest.raises(ServingError, match="unknown query-option"):
+            QueryOptions.from_json_dict({"kind": "topk", "k": 3, "mode": "x"})
+
+
+class TestQueryRequest:
+    def test_constructors(self):
+        query = Multiset("q", {"x": 2})
+        assert QueryRequest.threshold(query, 0.5).options \
+            == QueryOptions.for_threshold(0.5)
+        assert QueryRequest.topk(query, 4).options == QueryOptions.for_topk(4)
+
+    def test_type_validation(self):
+        with pytest.raises(ServingError, match="must be a Multiset"):
+            QueryRequest({"x": 1}, QueryOptions.for_topk(1))
+        with pytest.raises(ServingError, match="must be QueryOptions"):
+            QueryRequest(Multiset("q", {"x": 1}), "topk")
+
+    def test_json_round_trip(self):
+        request = QueryRequest.threshold(Multiset("q", {"x": 2, "y": 1}), 0.6)
+        parsed = QueryRequest.from_json_dict(request.to_json_dict())
+        assert parsed == request
+
+    def test_missing_wire_fields_rejected(self):
+        with pytest.raises(ServingError, match="missing the 'options'"):
+            QueryRequest.from_json_dict(
+                {"query": multiset_to_wire(Multiset("q", {"x": 1}))})
+        with pytest.raises(ServingError, match="missing the 'query'"):
+            QueryRequest.from_json_dict({"options": {"kind": "topk", "k": 1}})
+
+
+class TestQueryResponse:
+    def test_sequence_protocol(self):
+        matches = (QueryMatch("a", 0.9), QueryMatch("b", 0.5))
+        response = QueryResponse(matches, QueryOptions.for_threshold(0.4))
+        assert len(response) == 2
+        assert list(response) == list(matches)
+        assert response[0] == matches[0]
+        assert response.ids() == ["a", "b"]
+
+    def test_matches_normalised_to_tuple(self):
+        response = QueryResponse([QueryMatch("a", 1.0)],
+                                 QueryOptions.for_topk(1))
+        assert isinstance(response.matches, tuple)
+
+    def test_json_round_trip(self):
+        response = QueryResponse((QueryMatch("a", 0.75), QueryMatch(3, 0.5)),
+                                 QueryOptions.for_topk(2))
+        assert QueryResponse.from_json_dict(response.to_json_dict()) \
+            == response
+
+    def test_malformed_wire_matches_rejected(self):
+        with pytest.raises(ServingError, match="malformed match"):
+            QueryResponse.from_json_dict(
+                {"matches": [{"id": "a"}],
+                 "options": {"kind": "topk", "k": 1}})
+
+
+class TestWireCodec:
+    def test_multiset_round_trip_preserves_order(self):
+        multiset = Multiset("m", [("b", 2), ("a", 1), ("c", 7)])
+        again = multiset_from_wire(multiset_to_wire(multiset))
+        assert again == multiset
+        assert list(again.items()) == list(multiset.items())
+
+    def test_non_scalar_identifiers_cannot_travel(self):
+        with pytest.raises(ServingError, match="not JSON-representable"):
+            multiset_to_wire(Multiset(("tuple", "id"), {"x": 1}))
+        with pytest.raises(ServingError, match="not JSON-representable"):
+            multiset_to_wire(Multiset("m", {("e", 1): 2}))
+
+    def test_malformed_wire_multisets_rejected(self):
+        with pytest.raises(ServingError):
+            multiset_from_wire({"id": "m"})
+        with pytest.raises(ServingError):
+            multiset_from_wire({"id": "m", "elements": [["x", 1, 9]]})
+
+    def test_batch_payload_parses_each_request(self):
+        requests = [QueryRequest.topk(Multiset("q1", {"x": 1}), 2),
+                    QueryRequest.threshold(Multiset("q2", {"y": 3}), 0.3)]
+        payload = {"requests": [request.to_json_dict()
+                                for request in requests]}
+        assert requests_from_batch_payload(payload) == requests
+
+    def test_batch_payload_needs_requests_array(self):
+        with pytest.raises(ServingError, match="'requests'"):
+            requests_from_batch_payload({"queries": []})
+
+
+class TestFinalizeMatches:
+    def test_threshold_sorts_everything(self):
+        merged = [QueryMatch("b", 0.5), QueryMatch("a", 0.9),
+                  QueryMatch("c", 0.5)]
+        ordered = finalize_matches(merged, QueryOptions.for_threshold(0.4))
+        assert [match.multiset_id for match in ordered] == ["a", "b", "c"]
+
+    def test_topk_truncates_after_sorting(self):
+        merged = [QueryMatch(f"m{i}", i / 10) for i in range(8)]
+        ordered = finalize_matches(merged, QueryOptions.for_topk(3))
+        assert [match.multiset_id for match in ordered] == ["m7", "m6", "m5"]
+
+
+# ---------------------------------------------------------------------------
+# Old keyword forms == new unified forms, on every layer
+# ---------------------------------------------------------------------------
+
+@pytest.mark.filterwarnings("default::DeprecationWarning")
+class TestDeprecatedFormsParity:
+    """The PR-4 policy: aliases warn, and answer identically to the new API.
+
+    The ``filterwarnings`` mark opts back into plain warnings under the CI
+    matrix leg that escalates DeprecationWarning to an error.
+    """
+
+    def layers(self):
+        members = corpus()
+        index = SimilarityIndex("ruzicka")
+        index.bulk_load(members)
+        node = ServingNode("ruzicka")
+        node.bulk_load(members)
+        fleet = ShardedSimilarityService("ruzicka", num_shards=3)
+        fleet.bulk_load(members)
+        return members, (index, node, fleet)
+
+    def test_query_threshold_alias(self):
+        members, targets = self.layers()
+        query = members[0].with_id("probe")
+        for target in targets:
+            with pytest.warns(DeprecationWarning, match="query_threshold"):
+                old = target.query_threshold(query, 0.4)
+            new = target.query(QueryRequest.threshold(query, 0.4))
+            assert old == list(new.matches)
+
+    def test_query_topk_alias(self):
+        members, targets = self.layers()
+        query = members[1].with_id("probe")
+        for target in targets:
+            with pytest.warns(DeprecationWarning, match="query_topk"):
+                old = target.query_topk(query, 4)
+            assert old == list(target.query(QueryRequest.topk(query, 4)).matches)
+
+    def test_batch_aliases(self):
+        members, (index, node, fleet) = self.layers()
+        queries = [member.with_id(f"p{i}")
+                   for i, member in enumerate(members[:4])]
+        for target in (node, fleet):
+            with pytest.warns(DeprecationWarning, match="batch_threshold"):
+                old = target.batch_threshold(queries, 0.4)
+            new = target.batch(
+                [QueryRequest.threshold(query, 0.4) for query in queries])
+            assert old == [list(response.matches) for response in new]
+            with pytest.warns(DeprecationWarning, match="batch_topk"):
+                old = target.batch_topk(queries, 3)
+            new = target.batch(
+                [QueryRequest.topk(query, 3) for query in queries])
+            assert old == [list(response.matches) for response in new]
+
+    def test_warm_threshold_alias(self):
+        members, _ = self.layers()
+        node = ServingNode("ruzicka")
+        node.bulk_load(members)
+        member = members[0]
+        matches = node.query(QueryRequest.threshold(member, 0.4)).matches
+        with pytest.warns(DeprecationWarning, match="warm_threshold"):
+            node.warm_threshold(member, 0.4, list(matches))
+
+
+# ---------------------------------------------------------------------------
+# Snapshot + persist/recover of the sharded fleet
+# ---------------------------------------------------------------------------
+
+class TestServiceSnapshot:
+    def test_snapshot_aggregates_the_fleet(self, service):
+        member = corpus()[0]
+        service.query(QueryRequest.threshold(member.with_id("q"), 0.4))
+        snapshot = service.snapshot()
+        assert snapshot["measure"] == "ruzicka"
+        assert snapshot["num_shards"] == 3
+        assert snapshot["indexed_multisets"] == len(service)
+        assert snapshot["totals"] == service.stats()
+        assert set(snapshot["per_node"]) == {"node0", "node1", "node2"}
+        # Cache counters surface through the totals.
+        assert "cache/hits" in snapshot["totals"]
+        assert "cache/hit_rate" in snapshot["totals"]
+
+
+class TestServicePersistRecover:
+    def test_round_trip_is_bit_identical(self, service):
+        with tempfile.TemporaryDirectory() as directory:
+            paths = service.persist(directory)
+            assert [os.path.basename(path) for path in paths] \
+                == ["shard0000.sqlite", "shard0001.sqlite",
+                    "shard0002.sqlite"]
+            recovered = ShardedSimilarityService.recover(directory)
+        assert recovered.num_shards == service.num_shards
+        assert len(recovered) == len(service)
+        for member in corpus():
+            request = QueryRequest.threshold(member.with_id("q"), 0.3)
+            assert recovered.query(request) == service.query(request)
+            ranking = QueryRequest.topk(member.with_id("q"), 5)
+            assert recovered.query(ranking) == service.query(ranking)
+
+    def test_recover_rejects_an_empty_directory(self):
+        with tempfile.TemporaryDirectory() as directory:
+            with pytest.raises(ServingError, match="no shard"):
+                ShardedSimilarityService.recover(directory)
+
+    def test_recovered_fleet_keeps_accepting_writes(self, service):
+        with tempfile.TemporaryDirectory() as directory:
+            service.persist(directory)
+            recovered = ShardedSimilarityService.recover(directory)
+        newcomer = Multiset("fresh", {"e0": 2, "e1": 1})
+        recovered.add(newcomer)
+        service.add(newcomer)
+        request = QueryRequest.topk(newcomer.with_id("q"), 3)
+        assert recovered.query(request) == service.query(request)

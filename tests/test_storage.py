@@ -44,6 +44,7 @@ from repro import (
 )
 from repro.core.exceptions import StorageError
 from repro.core.interning import ElementDictionary
+from repro.serving.api import QueryRequest
 from repro.serving.node import ServingNode
 from repro.storage import (
     SCHEMA_VERSION,
@@ -256,9 +257,11 @@ class TestIndexPersistence:
         index.save(storage_path)
         loaded = SimilarityIndex.load(storage_path)
         for query in members[:5]:
-            assert loaded.query_threshold(query, 0.3) \
-                == index.query_threshold(query, 0.3)
-            assert loaded.query_topk(query, 4) == index.query_topk(query, 4)
+            threshold_request = QueryRequest.threshold(query, 0.3)
+            assert loaded.query(threshold_request) \
+                == index.query(threshold_request)
+            topk_request = QueryRequest.topk(query, 4)
+            assert loaded.query(topk_request) == index.query(topk_request)
 
     def test_loaded_index_keeps_accepting_writes(self, storage_path):
         index = SimilarityIndex("ruzicka")
@@ -320,8 +323,8 @@ class TestIndexPersistence:
         restarted = ServingNode("ruzicka", name="n0-restarted")
         restarted.index = SimilarityIndex.load(storage_path)
         for query in members[:3]:
-            assert restarted.query_threshold(query, 0.4) \
-                == node.query_threshold(query, 0.4)
+            request = QueryRequest.threshold(query, 0.4)
+            assert restarted.query(request) == node.query(request)
 
 
 # ---------------------------------------------------------------------------
@@ -510,8 +513,8 @@ class TestBootstrapFromStorage:
         from_memory = bootstrap_from_join(joined.multisets, joined,
                                           num_shards=2)
         member = joined.multisets[0]
-        assert from_path.query_threshold(member, joined.spec.threshold) \
-            == from_memory.query_threshold(member, joined.spec.threshold)
+        request = QueryRequest.threshold(member, joined.spec.threshold)
+        assert from_path.query(request) == from_memory.query(request)
         # The stored pairs warmed the caches: member queries never scan.
         assert sum(node.cache_hits for node in from_path.nodes) > 0
 
@@ -528,8 +531,8 @@ class TestBootstrapFromStorage:
             threshold=joined.spec.threshold)
         member = joined.multisets[0]
         expected = bootstrap_from_join(joined.multisets, joined)
-        assert service.query_threshold(member, joined.spec.threshold) \
-            == expected.query_threshold(member, joined.spec.threshold)
+        request = QueryRequest.threshold(member, joined.spec.threshold)
+        assert service.query(request) == expected.query(request)
 
 
 # ---------------------------------------------------------------------------

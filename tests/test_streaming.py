@@ -32,6 +32,7 @@ from repro.datasets.workload import (
 from repro.engine.engine import SimilarityEngine
 from repro.engine.spec import JoinSpec
 from repro.mapreduce.cluster import laptop_cluster
+from repro.serving.api import QueryRequest
 from repro.serving.node import ServingNode
 from repro.serving.service import ShardedSimilarityService
 from repro.streaming.changes import (
@@ -358,8 +359,9 @@ class TestServingSubscriber:
         fresh.bulk_load(view.members())
         hits_before = service.stats()["cache/hits"]
         for member in view.members():
-            warmed = service.query_threshold(member, threshold)
-            expected = fresh.query_threshold(member, threshold)
+            request = QueryRequest.threshold(member, threshold)
+            warmed = service.query(request).matches
+            expected = fresh.query(request).matches
             assert [(m.multiset_id, m.similarity) for m in warmed] \
                 == [(m.multiset_id, pytest.approx(m.similarity))
                     for m in expected]
@@ -388,7 +390,8 @@ class TestServingSubscriber:
         attach_serving(view, node)
         view.delete("b")
         hits_before = node.cache_hits
-        matches = node.query_threshold(overlapping_multisets[3], 0.8)
+        matches = node.query(
+            QueryRequest.threshold(overlapping_multisets[3], 0.8)).matches
         assert {m.multiset_id for m in matches} == {"d", "e"}
         assert node.cache_hits == hits_before + 1
 

@@ -36,6 +36,11 @@ depends on:
   materializes a spec's pair set and applies upsert/delete
   :class:`ChangeBatch` streams exactly, emitting :class:`PairDelta` events
   and streaming them into the serving layer;
+* :mod:`repro.resilience` — replication and fault tolerance for serving:
+  :class:`ReplicatedSimilarityService` keeps N replicas per hash-shard
+  (write fan-in, read spreading, failover, exact rebuild), with seeded
+  :class:`FaultPolicy` injection, :class:`RetryPolicy` backoff and a
+  :class:`CircuitBreaker` for the wire client;
 * :mod:`repro.storage` — the durable persistence tier: one SQLite file
   holds a serving index (``SimilarityIndex.save``/``.load``), a crash-
   recoverable view snapshot + mutation log (``JoinView.persist`` /
@@ -76,6 +81,13 @@ from repro.mapreduce import (
     laptop_cluster,
     paper_cluster,
 )
+from repro.resilience import (
+    CircuitBreaker,
+    FaultPolicy,
+    ReplicatedShard,
+    ReplicatedSimilarityService,
+    RetryPolicy,
+)
 from repro.serving import (
     ServingNode,
     ShardedSimilarityService,
@@ -115,15 +127,17 @@ from repro.streaming import (
     attach_serving,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Change",
     "ChangeBatch",
+    "CircuitBreaker",
     "Cluster",
     "CorpusProfile",
     "ElementDictionary",
     "ExecutionBackend",
+    "FaultPolicy",
     "InputTuple",
     "InternedMultiset",
     "JoinPlan",
@@ -135,7 +149,10 @@ __all__ = [
     "PairCodec",
     "Planner",
     "ProcessBackend",
+    "ReplicatedShard",
+    "ReplicatedSimilarityService",
     "ResultStore",
+    "RetryPolicy",
     "SerialBackend",
     "ServingNode",
     "ShardedSimilarityService",

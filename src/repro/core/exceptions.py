@@ -177,3 +177,83 @@ class StreamingError(ReproError):
     MinHash joins, stop-word-filtered joins) and serving targets that
     cannot be kept in sync with a view.
     """
+
+
+class ResilienceError(ReproError):
+    """Raised by the replication / fault-tolerance tier (:mod:`repro.resilience`).
+
+    Covers replica-set configuration errors (replication factors below one,
+    recovering a replica that is not down) and the fault-path subclasses
+    below, each of which maps to its own wire error code.
+    """
+
+
+class ReplicaUnavailableError(ResilienceError):
+    """Raised when no healthy replica can serve a call.
+
+    Surfaced to clients as ``503`` with a ``Retry-After`` hint: the
+    condition is transient — a replica recovery or health-check readmission
+    restores service — so the right client response is backoff-and-retry,
+    not failure classification.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.retry_after_seconds))
+
+
+class ReplicaDivergenceError(ResilienceError):
+    """Raised when replicas of one shard disagree after a fanned-in write.
+
+    Replicas apply the same write stream, so their member counts and write
+    versions must advance in lockstep; a divergence means a replica
+    silently dropped or duplicated a write and can no longer be trusted to
+    serve exact answers.
+    """
+
+
+class CircuitOpenError(ResilienceError):
+    """Raised by a client-side circuit breaker refusing to place a call.
+
+    The endpoint has failed enough consecutive calls that further attempts
+    are presumed wasted; ``retry_after_seconds`` is the time until the
+    breaker half-opens and allows a probe through.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.retry_after_seconds))
+
+
+class DeadlineExceededError(ResilienceError):
+    """Raised when a call (or request) exceeds its deadline.
+
+    Raised client-side when retries would overrun the caller's deadline and
+    server-side when a request's execution exceeds the configured
+    per-request timeout (surfaced as ``504``).
+    """
+
+    def __init__(self, message: str, deadline_seconds: float = 0.0,
+                 retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.deadline_seconds = float(deadline_seconds)
+        self.retry_after_seconds = retry_after_seconds
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.deadline_seconds,
+                             self.retry_after_seconds))
+
+
+class InjectedFaultError(ResilienceError):
+    """An artificial failure raised by a :class:`repro.resilience.FaultPolicy`.
+
+    Only fault-injection harnesses (the chaos suite, the availability
+    benchmark) raise this; seeing it escape to a client means a resilience
+    layer failed to mask a fault it was configured to absorb.
+    """

@@ -1,0 +1,65 @@
+"""Replication and fault tolerance for the serving tier.
+
+The package makes one promise and builds everything around it: **as long
+as every shard keeps one healthy replica, answers are bit-identical to an
+unreplicated fleet and no fault is visible to the caller**.  The pieces:
+
+* :mod:`repro.resilience.replica` — :class:`ReplicatedShard`, N serving
+  nodes per hash-shard with write fan-in (divergence-version-checked),
+  round-robin / rendezvous read spreading, fault ejection with failover,
+  and exact rebuild (peer snapshot or :mod:`repro.storage`);
+* :mod:`repro.resilience.service` — :class:`ReplicatedSimilarityService`,
+  the fleet-level drop-in for
+  :class:`~repro.serving.service.ShardedSimilarityService` (same hash
+  routing, same persist format) plus kill/recover/health-check plumbing;
+* :mod:`repro.resilience.faults` — :class:`FaultPolicy`, seeded injectable
+  latency / errors / timeouts / crash-on-nth-call in front of any node or
+  wire call — the chaos seam the Hypothesis suite and the availability
+  benchmark drive;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` /
+  :class:`RetrySchedule`, deadlines and capped exponential backoff with
+  seeded jitter honoring server ``Retry-After`` hints;
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`, the
+  closed/open/half-open per-endpoint breaker the wire client mounts.
+"""
+
+from repro.core.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFaultError,
+    ReplicaDivergenceError,
+    ReplicaUnavailableError,
+    ResilienceError,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.faults import FaultPolicy, call_with_policy
+from repro.resilience.replica import (
+    RENDEZVOUS,
+    ROUND_ROBIN,
+    Replica,
+    ReplicatedShard,
+)
+from repro.resilience.retry import RetryPolicy, RetrySchedule
+from repro.resilience.service import ReplicatedSimilarityService
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "FaultPolicy",
+    "HALF_OPEN",
+    "InjectedFaultError",
+    "OPEN",
+    "RENDEZVOUS",
+    "ROUND_ROBIN",
+    "Replica",
+    "ReplicaDivergenceError",
+    "ReplicaUnavailableError",
+    "ReplicatedShard",
+    "ReplicatedSimilarityService",
+    "ResilienceError",
+    "RetryPolicy",
+    "RetrySchedule",
+    "call_with_policy",
+]

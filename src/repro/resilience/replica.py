@@ -1,0 +1,410 @@
+"""One shard's replica set: write fan-in, read spreading, failover, rebuild.
+
+:class:`ReplicatedShard` owns N :class:`~repro.serving.node.ServingNode`
+replicas holding identical copies of one hash-shard's data:
+
+* **writes fan in**: every healthy replica applies every upsert/delete, in
+  the same order, so any one of them can answer any read exactly.  A
+  replica whose write attempt faults is *ejected* (marked down) rather
+  than left behind silently — an ejected replica has provably missed
+  writes and must rebuild before serving again.  After every fan-in the
+  shard version-checks the survivors for divergence;
+* **reads spread**: each query is served by one healthy replica, picked
+  round-robin (throughput-first: consecutive queries alternate replicas)
+  or by rendezvous hashing on the query's content signature
+  (cache-first: the same query always lands on the same replica, so each
+  replica's LRU holds a disjoint slice of the hot set).  A read that
+  faults ejects the replica and *fails over* to the next healthy one —
+  the caller sees the answer, not the fault;
+* **recovery rebuilds**: a down replica re-enters by copying a healthy
+  peer's members (exact: the rebuilt index answers bit-identically) or by
+  loading a :mod:`repro.storage` snapshot, then re-joins the fan-in.
+
+Faults are injected (never spontaneous) through an optional per-replica
+:class:`~repro.resilience.faults.FaultPolicy`, consulted *before* the node
+call — so a faulted write never half-applies, and killing a replica
+between any two operations leaves the survivors exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Sequence
+
+from repro.core.exceptions import (
+    ReplicaDivergenceError,
+    ReplicaUnavailableError,
+    ResilienceError,
+    ServingError,
+)
+from repro.core.multiset import Multiset, MultisetId, content_signature
+from repro.mapreduce.partitioner import stable_hash
+from repro.resilience.faults import FaultPolicy
+from repro.serving.node import ServingNode
+from repro.similarity.base import NominalSimilarityMeasure
+
+#: Salt separating replica rendezvous ranking from the other hash users.
+REPLICA_SALT = "resilience-replica"
+
+#: The two read-spreading strategies.
+ROUND_ROBIN = "round_robin"
+RENDEZVOUS = "rendezvous"
+
+
+class Replica:
+    """One serving node plus its health state inside a replica set."""
+
+    def __init__(self, node: ServingNode, *,
+                 fault_policy: FaultPolicy | None = None) -> None:
+        self.node = node
+        self.fault_policy = fault_policy
+        self.healthy = True
+        #: Why the replica is down ("" while healthy).
+        self.down_reason = ""
+        #: The index version every fan-in leaves the replica at; a
+        #: mismatch on the next check means an out-of-band write diverged
+        #: this replica from its peers.
+        self.expected_version = node.index.version
+        #: Serializes calls into the node (serving structures are not
+        #: thread-safe); distinct replicas proceed in parallel.
+        self.lock = threading.Lock()
+        self.reads_served = 0
+        self.writes_applied = 0
+        self.faults_seen = 0
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def call(self, operation: str, function: Callable, *args):
+        """Run one node call behind the fault policy, under the lock."""
+        with self.lock:
+            if self.fault_policy is not None:
+                self.fault_policy.on_call(operation)
+            return function(*args)
+
+    def stats(self) -> dict[str, float]:
+        merged: dict[str, float] = dict(self.node.stats())
+        merged["healthy"] = self.healthy
+        merged["reads_served"] = self.reads_served
+        merged["writes_applied"] = self.writes_applied
+        merged["faults_seen"] = self.faults_seen
+        return merged
+
+    def __repr__(self) -> str:
+        state = "healthy" if self.healthy else f"down ({self.down_reason})"
+        return f"Replica({self.name!r}, {state}, members={len(self.node)})"
+
+
+class ReplicatedShard:
+    """N replicas of one shard behind write fan-in and read spreading."""
+
+    def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
+                 replication_factor: int = 2, *,
+                 cache_capacity: int = 1024,
+                 stop_word_frequency: int | None = None,
+                 intern: bool = True,
+                 name: str = "shard0",
+                 read_strategy: str = ROUND_ROBIN,
+                 fault_policies: Sequence[FaultPolicy | None] | None = None
+                 ) -> None:
+        if replication_factor < 1:
+            raise ResilienceError(
+                f"replication_factor must be >= 1, got {replication_factor}")
+        if read_strategy not in (ROUND_ROBIN, RENDEZVOUS):
+            raise ResilienceError(
+                f"read_strategy must be {ROUND_ROBIN!r} or {RENDEZVOUS!r}, "
+                f"got {read_strategy!r}")
+        if fault_policies is not None \
+                and len(fault_policies) != replication_factor:
+            raise ResilienceError(
+                f"need one fault policy slot per replica: got "
+                f"{len(fault_policies)} for replication factor "
+                f"{replication_factor}")
+        self.name = name
+        self.read_strategy = read_strategy
+        self._node_settings = {
+            "cache_capacity": cache_capacity,
+            "stop_word_frequency": stop_word_frequency,
+            "intern": intern,
+        }
+        self._measure_setting = measure
+        self.replicas = [
+            Replica(ServingNode(measure, cache_capacity=cache_capacity,
+                                stop_word_frequency=stop_word_frequency,
+                                intern=intern,
+                                name=f"{name}/replica{index}"),
+                    fault_policy=(fault_policies[index]
+                                  if fault_policies else None))
+            for index in range(replication_factor)
+        ]
+        self._next_read = 0
+        self._pick_lock = threading.Lock()
+        self.ejections = 0
+        self.recoveries = 0
+        self.failovers = 0
+
+    @property
+    def replication_factor(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def measure(self) -> NominalSimilarityMeasure:
+        return self.replicas[0].node.measure
+
+    def healthy_replicas(self) -> list[Replica]:
+        """The replicas currently serving (fan-in targets, read candidates)."""
+        return [replica for replica in self.replicas if replica.healthy]
+
+    def num_healthy(self) -> int:
+        return sum(1 for replica in self.replicas if replica.healthy)
+
+    def _primary(self) -> Replica:
+        """Any healthy replica (reads that must not spread: len, get)."""
+        for replica in self.replicas:
+            if replica.healthy:
+                return replica
+        raise ReplicaUnavailableError(
+            f"shard {self.name}: all {self.replication_factor} replicas "
+            "are down")
+
+    def __len__(self) -> int:
+        return len(self._primary().node)
+
+    def __contains__(self, multiset_id: object) -> bool:
+        return multiset_id in self._primary().node
+
+    def get(self, multiset_id: MultisetId) -> Multiset | None:
+        """The indexed multiset with this identifier, from any healthy replica."""
+        return self._primary().node.index.get(multiset_id)
+
+    # -- ejection / divergence -------------------------------------------------
+
+    def _eject(self, replica: Replica, reason: str) -> None:
+        if replica.healthy:
+            replica.healthy = False
+            replica.down_reason = reason
+            replica.faults_seen += 1
+            self.ejections += 1
+
+    def check_divergence(self) -> None:
+        """Verify the healthy replicas still agree; raise when they don't.
+
+        Two checks: each replica's index version must equal what the last
+        fan-in left it at (an out-of-band write to one replica is
+        divergence by definition), and all healthy replicas must agree on
+        the member count (a dropped or duplicated fan-in write).
+        """
+        sizes: dict[str, int] = {}
+        for replica in self.healthy_replicas():
+            if replica.node.index.version != replica.expected_version:
+                raise ReplicaDivergenceError(
+                    f"shard {self.name}: replica {replica.name} is at index "
+                    f"version {replica.node.index.version}, expected "
+                    f"{replica.expected_version} — it was written to "
+                    "outside the fan-in path")
+            sizes[replica.name] = len(replica.node)
+        if len(set(sizes.values())) > 1:
+            raise ReplicaDivergenceError(
+                f"shard {self.name}: healthy replicas disagree on member "
+                f"count: {sizes}")
+
+    # -- writes (fan in to every healthy replica) ------------------------------
+
+    def _fan_in(self, operation: str, function_name: str, *args) -> int:
+        """Apply one write to every healthy replica; returns how many applied.
+
+        A replica whose *injected fault* fires is ejected and skipped — the
+        fault fires before the node mutates, so the ejected replica simply
+        missed the write and will rebuild on recovery.  A deterministic
+        :class:`ServingError` (duplicate add, missing delete) propagates
+        unchanged: it would fail identically on every replica, and on the
+        replicas already visited it failed *before* mutating, so the set
+        stays consistent.
+        """
+        applied = 0
+        deterministic_failure: ServingError | None = None
+        for replica in self.healthy_replicas():
+            try:
+                replica.call(operation, getattr(replica.node, function_name),
+                             *args)
+            except ServingError as error:
+                deterministic_failure = error
+                break
+            except Exception as error:  # noqa: BLE001 — fault path
+                self._eject(replica, f"{operation} failed: {error}")
+                continue
+            replica.writes_applied += 1
+            replica.expected_version = replica.node.index.version
+            applied += 1
+        if deterministic_failure is not None:
+            raise deterministic_failure
+        if applied == 0:
+            raise ReplicaUnavailableError(
+                f"shard {self.name}: no healthy replica could apply "
+                f"{operation} (all {self.replication_factor} down)")
+        self.check_divergence()
+        return applied
+
+    def add(self, multiset: Multiset, replace: bool = False) -> None:
+        """Fan one upsert in to every healthy replica."""
+        self._fan_in("add", "add", multiset, replace)
+
+    def remove(self, multiset_id: MultisetId) -> None:
+        """Fan one delete in to every healthy replica."""
+        self._fan_in("remove", "remove", multiset_id)
+
+    def bulk_load(self, multisets: Iterable[Multiset],
+                  replace: bool = False) -> int:
+        """Fan a bulk load in; returns the count indexed (per replica)."""
+        batch = list(multisets)
+        self._fan_in("bulk_load", "bulk_load", batch, replace)
+        return len(batch)
+
+    # -- reads (spread over healthy replicas, failing over on faults) ----------
+
+    def _read_candidates(self, request) -> list[Replica]:
+        """Healthy replicas in preference order for one request."""
+        healthy = self.healthy_replicas()
+        if not healthy:
+            return []
+        if self.read_strategy == RENDEZVOUS and request is not None:
+            signature = content_signature(request.query)
+            return sorted(
+                healthy,
+                key=lambda replica: stable_hash(
+                    (sorted(map(repr, signature)), replica.name),
+                    salt=REPLICA_SALT),
+                reverse=True)
+        with self._pick_lock:
+            start = self._next_read
+            self._next_read += 1
+        # Rotate over the *current* healthy list so a just-ejected replica
+        # never absorbs a turn.
+        return [healthy[(start + offset) % len(healthy)]
+                for offset in range(len(healthy))]
+
+    def _read(self, operation: str, function_name: str, *args, request=None):
+        """Serve one read from the preferred replica, failing over on faults.
+
+        Deterministic :class:`ServingError` failures propagate (they would
+        recur on every replica — e.g. ``neighbours`` of an unindexed
+        identifier); anything else ejects the replica and tries the next.
+        """
+        for replica in self._read_candidates(request):
+            try:
+                result = replica.call(operation,
+                                      getattr(replica.node, function_name),
+                                      *args)
+            except ServingError:
+                raise
+            except Exception as error:  # noqa: BLE001 — fail over
+                self._eject(replica, f"{operation} failed: {error}")
+                self.failovers += 1
+                continue
+            replica.reads_served += 1
+            return result
+        raise ReplicaUnavailableError(
+            f"shard {self.name}: no healthy replica left to serve "
+            f"{operation} (all {self.replication_factor} down)")
+
+    def query(self, request):
+        """Answer one unified-API query from one healthy replica."""
+        return self._read("query", "query", request, request=request)
+
+    def batch(self, requests: Sequence) -> list:
+        """Answer a request batch from one healthy replica.
+
+        The whole batch goes to a single replica (it coalesces duplicate
+        signatures internally); spreading happens across batches.
+        """
+        anchor = requests[0] if requests else None
+        return self._read("batch", "batch", list(requests), request=anchor)
+
+    # -- kill / recover --------------------------------------------------------
+
+    def kill(self, replica_index: int, *, lose_state: bool = True) -> Replica:
+        """Simulate a crash: mark the replica down, losing its state.
+
+        With ``lose_state`` (the default) the node is replaced by an empty
+        one, exactly as a process crash loses its memory — recovery *must*
+        rebuild, so tests exercising :meth:`recover` prove the rebuild
+        path rather than silently reusing surviving state.
+        """
+        try:
+            replica = self.replicas[replica_index]
+        except IndexError:
+            raise ResilienceError(
+                f"shard {self.name} has no replica {replica_index} "
+                f"(replication factor {self.replication_factor})") from None
+        self._eject(replica, "killed")
+        if lose_state:
+            replica.node = ServingNode(
+                self._measure_setting, name=replica.node.name,
+                **self._node_settings)
+            replica.expected_version = 0
+        if replica.fault_policy is not None:
+            replica.fault_policy.crash()
+        return replica
+
+    def recover(self, replica_index: int, *, source=None) -> Replica:
+        """Readmit a down replica, rebuilding its state exactly.
+
+        ``source`` is a :mod:`repro.storage` database path (or open
+        engine) written by :meth:`ServingNode.persist
+        <repro.serving.node.ServingNode.persist>`; without one the replica
+        copies a healthy peer's members (peer snapshot).  Either way the
+        rebuilt replica answers every query bit-identically to its peers,
+        which :meth:`check_divergence` re-verifies before readmission.
+        """
+        try:
+            replica = self.replicas[replica_index]
+        except IndexError:
+            raise ResilienceError(
+                f"shard {self.name} has no replica {replica_index} "
+                f"(replication factor {self.replication_factor})") from None
+        if replica.healthy:
+            raise ResilienceError(
+                f"shard {self.name}: replica {replica.name} is healthy; "
+                "only down replicas recover")
+        node = ServingNode(self._measure_setting, name=replica.node.name,
+                           **self._node_settings)
+        if source is not None:
+            from repro.serving.index import SimilarityIndex
+
+            node.index = SimilarityIndex.load(source)
+        else:
+            peer = self._primary()
+            with peer.lock:
+                members = [peer.node.index.get(multiset_id)
+                           for multiset_id in peer.node.index.ids()]
+            node.bulk_load(members)
+        if replica.fault_policy is not None:
+            replica.fault_policy.revive()
+        replica.node = node
+        replica.expected_version = node.index.version
+        replica.healthy = True
+        replica.down_reason = ""
+        self.recoveries += 1
+        self.check_divergence()
+        return replica
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Shard-level resilience counters."""
+        return {
+            "replication_factor": self.replication_factor,
+            "healthy_replicas": self.num_healthy(),
+            "ejections": self.ejections,
+            "recoveries": self.recoveries,
+            "failovers": self.failovers,
+        }
+
+    def per_replica_stats(self) -> dict[str, dict[str, float]]:
+        return {replica.name: replica.stats() for replica in self.replicas}
+
+    def __repr__(self) -> str:
+        return (f"ReplicatedShard(name={self.name!r}, "
+                f"replicas={self.num_healthy()}/{self.replication_factor} "
+                f"healthy, strategy={self.read_strategy!r})")

@@ -1,0 +1,361 @@
+"""The replicated fleet: hash-sharded replica sets behind the one query API.
+
+:class:`ReplicatedSimilarityService` is the fault-tolerant drop-in for
+:class:`~repro.serving.service.ShardedSimilarityService`: the same hash
+routing (identical :func:`~repro.serving.service.shard_for` assignment,
+so a replicated fleet and an unreplicated one partition any corpus
+identically), the same unified query/batch/write surface, the same
+persist/recover file format — plus N replicas per shard, write fan-in,
+per-shard read spreading and failover, and kill/recover/health-check
+plumbing for the chaos suite and the serving tier.
+
+Exactness contract: whenever every shard keeps at least one healthy
+replica, every query answer is bit-identical to the unreplicated
+service's — replication changes who computes the answer, never the
+answer.  The chaos suite asserts exactly that while killing and
+recovering replicas mid-stream.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.core.exceptions import ResilienceError, ServingError
+from repro.core.multiset import Multiset, MultisetId
+from repro.resilience.replica import ROUND_ROBIN, Replica, ReplicatedShard
+from repro.serving.api import (
+    QueryMatch,
+    QueryRequest,
+    QueryResponse,
+    finalize_matches,
+)
+from repro.serving.service import ShardedSimilarityService, shard_for
+from repro.similarity.base import NominalSimilarityMeasure
+
+
+class ReplicatedSimilarityService:
+    """A fleet of replicated shards behind a single query API."""
+
+    def __init__(self, measure: str | NominalSimilarityMeasure = "ruzicka",
+                 num_shards: int = 4, *, replication_factor: int = 2,
+                 cache_capacity: int = 1024,
+                 stop_word_frequency: int | None = None,
+                 intern: bool = True,
+                 read_strategy: str = ROUND_ROBIN,
+                 fault_policy_factory=None) -> None:
+        """Build the fleet.
+
+        ``fault_policy_factory`` is the chaos seam: a callable
+        ``(shard_index, replica_index) -> FaultPolicy | None`` wiring an
+        injection policy in front of each replica's node calls.
+        """
+        if num_shards < 1:
+            raise ServingError(f"num_shards must be >= 1, got {num_shards}")
+        self.shards = [
+            ReplicatedShard(
+                measure, replication_factor,
+                cache_capacity=cache_capacity,
+                stop_word_frequency=stop_word_frequency,
+                intern=intern,
+                name=f"shard{shard}",
+                read_strategy=read_strategy,
+                fault_policies=(
+                    [fault_policy_factory(shard, replica)
+                     for replica in range(replication_factor)]
+                    if fault_policy_factory is not None else None))
+            for shard in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of hash shards (each a replica set)."""
+        return len(self.shards)
+
+    @property
+    def replication_factor(self) -> int:
+        """Replicas per shard."""
+        return self.shards[0].replication_factor
+
+    @property
+    def measure(self) -> NominalSimilarityMeasure:
+        """The measure the fleet serves."""
+        return self.shards[0].measure
+
+    def __len__(self) -> int:
+        """Logical member count (each member counted once, not per replica)."""
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, multiset_id: object) -> bool:
+        return any(multiset_id in shard for shard in self.shards)
+
+    def shard_for(self, multiset_id: MultisetId) -> int:
+        """The shard this identifier routes to (same hash as unreplicated)."""
+        return shard_for(multiset_id, self.num_shards)
+
+    # -- writes (routed to the owning shard, fanned into its replicas) ---------
+
+    def add(self, multiset: Multiset, replace: bool = False) -> None:
+        """Index a multiset on every healthy replica of its owning shard."""
+        self.shards[self.shard_for(multiset.id)].add(multiset, replace=replace)
+
+    def remove(self, multiset_id: MultisetId) -> None:
+        """Drop a multiset from every healthy replica of its owning shard."""
+        self.shards[self.shard_for(multiset_id)].remove(multiset_id)
+
+    def bulk_load(self, multisets: Iterable[Multiset],
+                  replace: bool = False) -> int:
+        """Partition a collection over the shards; returns the count indexed."""
+        per_shard: dict[int, list[Multiset]] = {}
+        for multiset in multisets:
+            per_shard.setdefault(self.shard_for(multiset.id), []).append(multiset)
+        return sum(self.shards[shard].bulk_load(batch, replace=replace)
+                   for shard, batch in per_shard.items())
+
+    # -- queries (fan out to every shard, merge; replicas picked per shard) ----
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Answer one query across all shards, merged exactly.
+
+        Identical merge discipline to the unreplicated service; within
+        each shard the answering replica is picked by the read strategy.
+        """
+        merged: list[QueryMatch] = []
+        for shard in self.shards:
+            merged.extend(shard.query(request).matches)
+        return QueryResponse(finalize_matches(merged, request.options),
+                             request.options)
+
+    def batch(self, requests: Sequence[QueryRequest]) -> list[QueryResponse]:
+        """Execute a batch: one per-shard batch, merged per item."""
+        per_shard = [shard.batch(requests) for shard in self.shards]
+        return [QueryResponse(
+                    finalize_matches(
+                        [match for responses in per_shard
+                         for match in responses[position].matches],
+                        request.options),
+                    request.options)
+                for position, request in enumerate(requests)]
+
+    def neighbours(self, multiset_id: MultisetId,
+                   threshold: float) -> list[QueryMatch]:
+        """Threshold partners of an indexed member, excluding itself."""
+        member = self.shards[self.shard_for(multiset_id)].get(multiset_id)
+        if member is None:
+            raise ServingError(f"multiset {multiset_id!r} is not indexed")
+        matches = self.query(QueryRequest.threshold(member, threshold)).matches
+        return [match for match in matches
+                if match.multiset_id != multiset_id]
+
+    # -- fault plumbing --------------------------------------------------------
+
+    def kill_replica(self, shard: int, replica: int, *,
+                     lose_state: bool = True) -> Replica:
+        """Crash one replica (chaos entry point); see :meth:`ReplicatedShard.kill
+        <repro.resilience.replica.ReplicatedShard.kill>`."""
+        return self._shard_at(shard).kill(replica, lose_state=lose_state)
+
+    def recover_replica(self, shard: int, replica: int, *,
+                        source=None) -> Replica:
+        """Rebuild and readmit one down replica (peer snapshot or storage)."""
+        return self._shard_at(shard).recover(replica, source=source)
+
+    def _shard_at(self, shard: int) -> ReplicatedShard:
+        if not 0 <= shard < self.num_shards:
+            raise ResilienceError(
+                f"no shard {shard} (fleet has {self.num_shards})")
+        return self.shards[shard]
+
+    def health_check(self, *, readmit: bool = True) -> dict:
+        """Probe every replica; eject the broken, optionally readmit the down.
+
+        The probe is a no-op node call through the replica's fault policy
+        plus the shard's divergence version-check, so a crashed or
+        diverged replica is ejected by observation rather than by the
+        first failing query.  With ``readmit`` (the default), down
+        replicas whose shard still has a healthy peer are rebuilt and
+        readmitted — the self-healing loop the serving tier runs
+        periodically.
+        """
+        report: dict[str, list[str]] = {"healthy": [], "ejected": [],
+                                        "readmitted": [], "down": []}
+        for shard_index, shard in enumerate(self.shards):
+            for replica_index, replica in enumerate(shard.replicas):
+                if replica.healthy:
+                    try:
+                        replica.call("health", len, replica.node)
+                        if replica.node.index.version \
+                                != replica.expected_version:
+                            raise ResilienceError(
+                                "index version diverged from the fan-in "
+                                "history")
+                    except Exception as error:  # noqa: BLE001 — probe
+                        shard._eject(replica, f"health probe failed: {error}")
+                        report["ejected"].append(replica.name)
+                    else:
+                        report["healthy"].append(replica.name)
+                    continue
+                if readmit and shard.num_healthy() >= 1:
+                    try:
+                        shard.recover(replica_index)
+                    except Exception:  # noqa: BLE001 — stay down, retry later
+                        report["down"].append(replica.name)
+                    else:
+                        report["readmitted"].append(replica.name)
+                else:
+                    report["down"].append(replica.name)
+        return report
+
+    # -- persistence (format-compatible with the unreplicated service) ---------
+
+    def persist(self, directory: str | os.PathLike) -> list[str]:
+        """Save one healthy replica per shard into ``directory``.
+
+        Writes exactly the ``shard*.sqlite`` layout of
+        :meth:`ShardedSimilarityService.persist
+        <repro.serving.service.ShardedSimilarityService.persist>` — the
+        replicas are exact copies, so persisting any healthy one persists
+        the shard; either service class can recover the directory.
+        """
+        os.makedirs(directory, exist_ok=True)
+        paths: list[str] = []
+        for index, shard in enumerate(self.shards):
+            path = os.path.join(os.fspath(directory),
+                                f"shard{index:04d}.sqlite")
+            primary = shard._primary()
+            with primary.lock:
+                primary.node.persist(path)
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def recover(cls, directory: str | os.PathLike, *,
+                replication_factor: int = 2,
+                cache_capacity: int = 1024,
+                read_strategy: str = ROUND_ROBIN
+                ) -> "ReplicatedSimilarityService":
+        """Restore a replicated fleet from a persisted shard directory.
+
+        Accepts directories written by either service class's
+        ``persist``; every replica of a shard loads the same file, so the
+        rebuilt replica set starts consistent (and divergence-checked).
+        """
+        from repro.serving.index import SimilarityIndex
+
+        shard_files = sorted(
+            entry for entry in os.listdir(directory)
+            if entry.startswith("shard") and entry.endswith(".sqlite"))
+        if not shard_files:
+            raise ServingError(
+                f"no shard*.sqlite files found in {os.fspath(directory)!r}; "
+                "was the directory written by persist()?")
+        paths = [os.path.join(os.fspath(directory), entry)
+                 for entry in shard_files]
+        first = SimilarityIndex.load(paths[0])
+        service = cls(first.measure, len(paths),
+                      replication_factor=replication_factor,
+                      cache_capacity=cache_capacity,
+                      stop_word_frequency=first.stop_word_frequency,
+                      read_strategy=read_strategy)
+        for shard, path in zip(service.shards, paths):
+            for replica in shard.replicas:
+                replica.node.index = SimilarityIndex.load(path)
+                replica.expected_version = replica.node.index.version
+            shard.check_divergence()
+        return service
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Fleet totals: one healthy replica per shard summed, plus resilience.
+
+        Per-shard serving counters come from one healthy replica each (the
+        replicas are copies; summing all of them would overcount the fleet
+        by the replication factor), merged with the fan-in/failover
+        counters that only exist in the replicated tier.
+        """
+        merged: dict[str, float] = {}
+        for shard in self.shards:
+            for stat, value in shard._primary().node.stats().items():
+                merged[stat] = merged.get(stat, 0) + value
+        merged.pop("index_version", None)
+        merged["num_shards"] = self.num_shards
+        merged["replication_factor"] = self.replication_factor
+        lookups = merged.get("cache/hits", 0) + merged.get("cache/misses", 0)
+        merged["cache/hit_rate"] = (merged.get("cache/hits", 0) / lookups
+                                    if lookups else 0.0)
+        for shard in self.shards:
+            for stat, value in shard.stats().items():
+                if stat == "replication_factor":
+                    continue
+                merged[f"resilience/{stat}"] = \
+                    merged.get(f"resilience/{stat}", 0) + value
+        return merged
+
+    def per_node_stats(self) -> dict[str, dict[str, float]]:
+        """Per-replica statistics keyed by ``shardN/replicaM`` name."""
+        merged: dict[str, dict[str, float]] = {}
+        for shard in self.shards:
+            merged.update(shard.per_replica_stats())
+        return merged
+
+    def replica_health(self) -> dict[str, dict]:
+        """The health document of every replica (the ``/admin/replicas`` body)."""
+        return {
+            shard.name: {
+                "replication_factor": shard.replication_factor,
+                "healthy": shard.num_healthy(),
+                "replicas": {
+                    replica.name: {
+                        "healthy": replica.healthy,
+                        "down_reason": replica.down_reason,
+                        "members": len(replica.node),
+                        "reads_served": replica.reads_served,
+                        "writes_applied": replica.writes_applied,
+                    }
+                    for replica in shard.replicas
+                },
+            }
+            for shard in self.shards
+        }
+
+    def snapshot(self) -> dict:
+        """One health/statistics document for the whole fleet."""
+        return {
+            "measure": self.measure.name,
+            "num_shards": self.num_shards,
+            "replication_factor": self.replication_factor,
+            "indexed_multisets": len(self),
+            "totals": self.stats(),
+            "per_node": self.per_node_stats(),
+            "replica_health": self.replica_health(),
+        }
+
+    def to_unreplicated(self) -> ShardedSimilarityService:
+        """An unreplicated view over fresh copies of the fleet's state.
+
+        Built through the persistence-free peer-copy path: each shard's
+        primary members are bulk-loaded into a plain
+        :class:`ShardedSimilarityService` with the same shard count, so
+        the result answers every query identically (the parity oracle the
+        tests compare against, pointed the other way).
+        """
+        service = ShardedSimilarityService(
+            self.measure, self.num_shards,
+            stop_word_frequency=self.shards[0].replicas[0]
+            .node.index.stop_word_frequency)
+        for index, shard in enumerate(self.shards):
+            primary = shard._primary()
+            with primary.lock:
+                members = [primary.node.index.get(multiset_id)
+                           for multiset_id in primary.node.index.ids()]
+            service.nodes[index].bulk_load(members)
+        return service
+
+    def __repr__(self) -> str:
+        healthy = sum(shard.num_healthy() for shard in self.shards)
+        total = sum(shard.replication_factor for shard in self.shards)
+        return (f"ReplicatedSimilarityService(measure={self.measure.name!r}, "
+                f"shards={self.num_shards}, "
+                f"replicas={healthy}/{total} healthy, "
+                f"multisets={len(self)})")

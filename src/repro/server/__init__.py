@@ -20,13 +20,18 @@ direct :class:`~repro.serving.service.ShardedSimilarityService` calls.
 """
 
 from repro.server.app import ServerConfig, SimilarityServerApp, asgi_app
-from repro.server.client import RemoteServerError, SimilarityClient
+from repro.server.client import (
+    ClientTransportError,
+    RemoteServerError,
+    SimilarityClient,
+)
 from repro.server.errors import ERROR_TABLE, classify, error_body
 from repro.server.http import HttpServer, InProcessServer, serve_forever
 from repro.server.loadgen import LoadReport, run_closed_loop, run_open_loop
 from repro.server.queues import CoalescingQueue
 
 __all__ = [
+    "ClientTransportError",
     "CoalescingQueue",
     "ERROR_TABLE",
     "HttpServer",

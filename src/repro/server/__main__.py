@@ -31,6 +31,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recover the fleet from a persisted directory")
     parser.add_argument("--persist-on-shutdown", default=None, metavar="DIR",
                         help="persist every shard to DIR during drain")
+    parser.add_argument("--replication", type=int, default=1, metavar="N",
+                        help="replicas per shard; >= 2 serves a replicated "
+                             "fault-tolerant fleet (default: 1)")
+    parser.add_argument("--chaos-latency", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="inject this much seeded latency into every "
+                             "replica call (replicated fleets; default: 0)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-request deadline; late answers fail with "
+                             "504 (default: none)")
+    parser.add_argument("--health-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="period of the replica health-check loop "
+                             "(default: off)")
     return parser
 
 
@@ -39,7 +54,25 @@ def build_app(args: argparse.Namespace):
     from repro.serving.service import ShardedSimilarityService
     from repro.server.app import ServerConfig, SimilarityServerApp
 
-    if args.recover:
+    replicated = args.replication > 1
+    if replicated:
+        from repro.resilience import FaultPolicy, ReplicatedSimilarityService
+
+        factory = None
+        if args.chaos_latency > 0:
+            def factory(shard, replica):
+                return FaultPolicy(seed=shard * 97 + replica,
+                                   latency_seconds=args.chaos_latency)
+
+        if args.recover:
+            service = ReplicatedSimilarityService.recover(
+                args.recover, replication_factor=args.replication)
+        else:
+            service = ReplicatedSimilarityService(
+                args.measure, args.shards,
+                replication_factor=args.replication,
+                fault_policy_factory=factory)
+    elif args.recover:
         service = ShardedSimilarityService.recover(args.recover)
     else:
         service = ShardedSimilarityService(args.measure, args.shards)
@@ -51,7 +84,11 @@ def build_app(args: argparse.Namespace):
 
         dataset = generate_ip_cookie_dataset(small_dataset_config())
         service.bulk_load(dataset.multisets[:args.demo])
-    config = ServerConfig(persist_on_shutdown=args.persist_on_shutdown)
+    config = ServerConfig(
+        persist_on_shutdown=args.persist_on_shutdown,
+        request_timeout_seconds=args.request_timeout,
+        health_check_interval_seconds=(args.health_interval
+                                       if replicated else None))
     return SimilarityServerApp(service, config=config)
 
 
@@ -64,6 +101,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro.server listening on http://{host}:{port} "
               f"(measure={app.service.measure.name}, "
               f"shards={app.service.num_shards}, "
+              f"replication={getattr(app.service, 'replication_factor', 1)}, "
               f"indexed={len(app.service)})", flush=True)
 
     try:

@@ -22,6 +22,9 @@ POST     /upsert             index (or replace) one multiset
 POST     /delete             drop one multiset
 POST     /admin/persist      save every shard's index to a directory
 POST     /admin/recover      reload the fleet from a persisted directory
+GET      /admin/replicas     per-replica health (replicated fleets only)
+POST     /admin/kill         crash one replica (replicated fleets only)
+POST     /admin/revive       recover one replica (replicated fleets only)
 =======  ==================  ====================================================
 
 Writes are routed through bounded queues: one queue per shard when the app
@@ -34,6 +37,18 @@ Queries flow through one coalescing queue into
 <repro.serving.service.ShardedSimilarityService.batch>` so concurrent
 duplicate traffic pays a single index scan.  A full queue answers ``429``
 with a ``Retry-After`` hint — admission control, not unbounded latency.
+
+Graceful degradation (PR 8): with ``request_timeout_seconds`` set, a
+request that cannot be answered inside its deadline fails *crisply* with
+``504 deadline_exceeded`` instead of hanging.  With ``brownout_queue_depth``
+set, a query admitted while the queue is at least that deep is *degraded*
+rather than rejected — top-k requests are truncated to
+``brownout_topk_cap``, threshold requests are raised to
+``brownout_threshold_floor`` — and the response carries ``"degraded":
+true`` so clients know the answer is a (still exact) truncation of the full
+one.  With ``health_check_interval_seconds`` set over a
+:class:`~repro.resilience.service.ReplicatedSimilarityService`, a
+background loop ejects broken replicas and readmits recovered ones.
 """
 
 from __future__ import annotations
@@ -41,11 +56,19 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
-from repro.core.exceptions import ReproError, ServerError, ServingError
+from repro.core.exceptions import (
+    DeadlineExceededError,
+    ReproError,
+    ServerError,
+    ServingError,
+)
 from repro.serving.api import (
+    THRESHOLD_KIND,
+    TOPK_KIND,
+    QueryOptions,
     QueryRequest,
     multiset_from_wire,
     requests_from_batch_payload,
@@ -84,6 +107,22 @@ class ServerConfig:
     retry_after_seconds: float = 1.0
     #: Directory to persist every shard into during graceful shutdown.
     persist_on_shutdown: str | None = None
+    #: Per-request execution deadline; a queued request not answered in
+    #: time fails with 504 ``deadline_exceeded`` (``None``: no timeout).
+    request_timeout_seconds: float | None = None
+    #: Query-queue depth at which the server *browns out*: admitted
+    #: queries degrade (see ``brownout_topk_cap`` /
+    #: ``brownout_threshold_floor``) instead of being rejected
+    #: (``None``: never degrade).
+    brownout_queue_depth: int | None = None
+    #: Under brownout, top-k requests are truncated to at most this k.
+    brownout_topk_cap: int = 3
+    #: Under brownout, threshold requests below this floor are raised to
+    #: it (``None``: thresholds are never touched).
+    brownout_threshold_floor: float | None = None
+    #: Period of the replica health-check loop; requires a service with
+    #: ``health_check`` (``None``: no loop).
+    health_check_interval_seconds: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("query_queue_capacity", "query_max_batch",
@@ -96,6 +135,21 @@ class ServerConfig:
             raise ServerError(
                 f"retry_after_seconds must be positive, "
                 f"got {self.retry_after_seconds!r}")
+        for name in ("request_timeout_seconds",
+                     "health_check_interval_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ServerError(
+                    f"{name} must be positive when set, got {value!r}")
+        if self.brownout_queue_depth is not None \
+                and self.brownout_queue_depth < 1:
+            raise ServerError(
+                f"brownout_queue_depth must be >= 1 when set, "
+                f"got {self.brownout_queue_depth!r}")
+        if self.brownout_topk_cap < 1:
+            raise ServerError(
+                f"brownout_topk_cap must be >= 1, "
+                f"got {self.brownout_topk_cap!r}")
 
 
 class SimilarityServerApp:
@@ -132,9 +186,13 @@ class SimilarityServerApp:
         self._semaphore: asyncio.Semaphore | None = None
         self._query_queue: CoalescingQueue | None = None
         self._write_queues: list[CoalescingQueue] = []
+        self._health_task: asyncio.Task | None = None
         self._started = False
         self._closing = False
         self.requests_served = 0
+        self.degraded_served = 0
+        self.deadline_failures = 0
+        self.last_health_report: dict | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -155,8 +213,24 @@ class SimilarityServerApp:
         self._query_queue.start(executor=self._executor, lock=self.lock,
                                 semaphore=self._semaphore)
         self._write_queues = self._build_write_queues()
+        if config.health_check_interval_seconds is not None \
+                and hasattr(self.service, "health_check"):
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop(config.health_check_interval_seconds))
         self._started = True
         self._closing = False
+
+    async def _health_loop(self, interval: float) -> None:
+        """Periodically eject broken replicas and readmit recovered ones."""
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                self.last_health_report = await self._locked_in_executor(
+                    self.service.health_check)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 — the loop must survive
+                self.last_health_report = {"error": str(error)}
 
     def _build_write_queues(self) -> list[CoalescingQueue]:
         config = self.config
@@ -183,6 +257,13 @@ class SimilarityServerApp:
         if not self._started:
             return
         self._closing = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
         if self._query_queue is not None:
             await self._query_queue.close(drain=drain)
         for queue in self._write_queues:
@@ -258,8 +339,13 @@ class SimilarityServerApp:
         except ReproError as error:
             status, body = error_body(error)
             headers = {}
-            if status == 429:
-                retry_after = body["error"].get("retry_after_seconds", 1.0)
+            # Every backpressure-shaped failure (429 queue_full, 503
+            # replica_unavailable / circuit_open, 504 deadline_exceeded)
+            # carries its backoff hint as a Retry-After header too.
+            retry_after = body["error"].get("retry_after_seconds")
+            if status == 429 and retry_after is None:
+                retry_after = 1.0
+            if retry_after is not None:
                 headers["Retry-After"] = f"{max(retry_after, 0.001):.3f}"
             return status, body, headers
         except Exception as error:  # noqa: BLE001 — the wire must answer
@@ -278,6 +364,9 @@ class SimilarityServerApp:
             "/delete": self._handle_delete,
             "/admin/persist": self._handle_persist,
             "/admin/recover": self._handle_recover,
+            "/admin/replicas": self._handle_replicas,
+            "/admin/kill": self._handle_kill,
+            "/admin/revive": self._handle_revive,
         }
         handler = routes.get(path.rstrip("/") or "/")
         if handler is None:
@@ -285,7 +374,8 @@ class SimilarityServerApp:
                 NOT_FOUND, f"no such endpoint: {path!r}")
             return status, body, {}
         expected = "GET" if path.rstrip("/") in ("/health", "/stats",
-                                                 "/stats/shards") else "POST"
+                                                 "/stats/shards",
+                                                 "/admin/replicas") else "POST"
         if method != expected:
             status, body = simple_error(
                 METHOD_NOT_ALLOWED,
@@ -303,6 +393,55 @@ class SimilarityServerApp:
         if not self._started or self._closing:
             raise ServerError("the server is not accepting requests "
                               "(not started or shutting down)")
+
+    async def _with_deadline(self, awaitable, what: str):
+        """Await under the configured per-request deadline, if any.
+
+        On expiry the admitted work is *not* cancelled (the coalesced batch
+        may be answering other callers); only this caller's wait ends, with
+        a ``504 deadline_exceeded`` carrying the standard backoff hint.
+        """
+        timeout = self.config.request_timeout_seconds
+        if timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(asyncio.shield(awaitable), timeout)
+        except asyncio.TimeoutError:
+            self.deadline_failures += 1
+            raise DeadlineExceededError(
+                f"{what} was not answered within {timeout}s",
+                deadline_seconds=timeout,
+                retry_after_seconds=self.config.retry_after_seconds) from None
+
+    def _browned_out(self) -> bool:
+        """Whether the query queue is deep enough to trigger degradation."""
+        depth = self.config.brownout_queue_depth
+        return (depth is not None and self._query_queue is not None
+                and self._query_queue.depth >= depth)
+
+    def _maybe_degrade(self, request: QueryRequest) -> tuple[QueryRequest, bool]:
+        """Under brownout, shrink a request so its answer costs less.
+
+        A degraded answer is always a *truncation* of the full answer —
+        top-k capped to ``brownout_topk_cap``, thresholds raised to
+        ``brownout_threshold_floor`` — never an approximation, so exactness
+        guarantees hold; the response just says ``degraded: true``.
+        """
+        if not self._browned_out():
+            return request, False
+        options = request.options
+        if options.kind == TOPK_KIND \
+                and options.k > self.config.brownout_topk_cap:
+            degraded = QueryOptions.for_topk(self.config.brownout_topk_cap)
+        elif options.kind == THRESHOLD_KIND \
+                and self.config.brownout_threshold_floor is not None \
+                and options.threshold < self.config.brownout_threshold_floor:
+            degraded = QueryOptions.for_threshold(
+                self.config.brownout_threshold_floor)
+        else:
+            return request, False
+        self.degraded_served += 1
+        return replace(request, options=degraded), True
 
     @staticmethod
     def _parse(decode, *arguments):
@@ -357,6 +496,8 @@ class SimilarityServerApp:
             "status": "ok",
             "measure": self.service.measure.name,
             "num_shards": self.service.num_shards,
+            "replication_factor": getattr(self.service,
+                                          "replication_factor", 1),
             "indexed_multisets": len(self.service),
             "mode": "view" if self.view is not None else "direct"})
         return 200, body, {}
@@ -373,35 +514,52 @@ class SimilarityServerApp:
     async def _handle_query(self, payload: dict) -> tuple[int, dict, dict]:
         self._require_started()
         request = self._parse(QueryRequest.from_json_dict, payload)
-        response = await self._query_queue.submit(request)
-        return 200, response.to_json_dict(), {}
+        request, degraded = self._maybe_degrade(request)
+        response = await self._with_deadline(
+            self._query_queue.submit(request), "query")
+        body = response.to_json_dict()
+        if degraded:
+            body["degraded"] = True
+        return 200, body, {}
 
     async def _handle_query_batch(self, payload: dict) -> tuple[int, dict, dict]:
         self._require_started()
         requests = self._parse(requests_from_batch_payload, payload)
+        degraded_any = False
+        futures = []
         # Submitted individually: the coalescing worker re-batches them
         # (together with any concurrent traffic) into single executions,
         # and admission control applies per request.
-        futures = [self._query_queue.submit(request) for request in requests]
-        responses = await asyncio.gather(*futures)
-        return 200, {"responses": [response.to_json_dict()
-                                   for response in responses]}, {}
+        for request in requests:
+            request, degraded = self._maybe_degrade(request)
+            degraded_any = degraded_any or degraded
+            futures.append(self._query_queue.submit(request))
+        responses = await self._with_deadline(
+            asyncio.gather(*futures), "query batch")
+        body = {"responses": [response.to_json_dict()
+                              for response in responses]}
+        if degraded_any:
+            body["degraded"] = True
+        return 200, body, {}
 
     async def _handle_upsert(self, payload: dict) -> tuple[int, dict, dict]:
         self._require_started()
         if "multiset" not in payload:
             raise ServerError("upsert needs a 'multiset' field")
         multiset = self._parse(multiset_from_wire, payload["multiset"])
-        ack = await self._write_queue_for(multiset.id).submit(
-            (_UPSERT, multiset))
+        ack = await self._with_deadline(
+            self._write_queue_for(multiset.id).submit((_UPSERT, multiset)),
+            "upsert")
         return 200, ack, {}
 
     async def _handle_delete(self, payload: dict) -> tuple[int, dict, dict]:
         self._require_started()
         if "id" not in payload:
             raise ServerError("delete needs an 'id' field")
-        ack = await self._write_queue_for(payload["id"]).submit(
-            (_DELETE, payload["id"]))
+        ack = await self._with_deadline(
+            self._write_queue_for(payload["id"]).submit(
+                (_DELETE, payload["id"])),
+            "delete")
         return 200, ack, {}
 
     async def _handle_persist(self, payload: dict) -> tuple[int, dict, dict]:
@@ -431,7 +589,14 @@ class SimilarityServerApp:
 
         def swap():
             with self.lock:
-                self.service = ShardedSimilarityService.recover(directory)
+                # type(...) keeps the fleet flavour: a replicated service
+                # recovers replicated (every replica reloading the same
+                # per-shard file), an unreplicated one recovers as before.
+                kwargs = {}
+                if hasattr(self.service, "replication_factor"):
+                    kwargs["replication_factor"] = \
+                        self.service.replication_factor
+                self.service = type(self.service).recover(directory, **kwargs)
                 return {"recovered": True,
                         "num_shards": self.service.num_shards,
                         "indexed_multisets": len(self.service)}
@@ -440,6 +605,61 @@ class SimilarityServerApp:
         body = await loop.run_in_executor(self._executor, swap)
         self._write_queues = self._build_write_queues()
         return 200, body, {}
+
+    # -- replica administration (replicated fleets only) -----------------------
+
+    def _require_replicated(self) -> None:
+        if not hasattr(self.service, "kill_replica"):
+            raise ServerError(
+                "this endpoint needs a replicated fleet; start the server "
+                "with --replication >= 2 (ReplicatedSimilarityService)")
+
+    @staticmethod
+    def _replica_address(payload: dict) -> tuple[int, int]:
+        shard = payload.get("shard")
+        replica = payload.get("replica")
+        for name, value in (("shard", shard), ("replica", replica)):
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise ServerError(
+                    f"admin replica endpoints need an int {name!r} >= 0, "
+                    f"got {value!r}")
+        return shard, replica
+
+    async def _handle_replicas(self, payload) -> tuple[int, dict, dict]:
+        self._require_replicated()
+        body = self._read_stats(lambda: {
+            "replication_factor": self.service.replication_factor,
+            "replicas": self.service.replica_health(),
+            "last_health_report": self.last_health_report,
+        })
+        return 200, body, {}
+
+    async def _handle_kill(self, payload: dict) -> tuple[int, dict, dict]:
+        self._require_started()
+        self._require_replicated()
+        shard, replica = self._replica_address(payload)
+        lose_state = bool(payload.get("lose_state", True))
+        await self._locked_in_executor(
+            lambda: self.service.kill_replica(shard, replica,
+                                              lose_state=lose_state))
+        return 200, {"killed": {"shard": shard, "replica": replica,
+                                "lose_state": lose_state}}, {}
+
+    async def _handle_revive(self, payload: dict) -> tuple[int, dict, dict]:
+        self._require_started()
+        self._require_replicated()
+        shard, replica = self._replica_address(payload)
+        source = payload.get("source")
+        if source is not None and not isinstance(source, str):
+            raise ServerError(
+                f"admin/revive 'source' must be a directory string when "
+                f"given, got {source!r}")
+        await self._locked_in_executor(
+            lambda: self.service.recover_replica(shard, replica,
+                                                 source=source))
+        return 200, {"revived": {"shard": shard, "replica": replica,
+                                 "source": source}}, {}
 
     # -- observability ---------------------------------------------------------
 
@@ -454,6 +674,9 @@ class SimilarityServerApp:
             "mode": "view" if self.view is not None else "direct",
             "accepting": self._started and not self._closing,
             "requests_served": self.requests_served,
+            "degraded_served": self.degraded_served,
+            "deadline_failures": self.deadline_failures,
+            "browned_out": self._browned_out(),
             "max_in_flight": self.config.max_in_flight,
             "queues": queues,
         }

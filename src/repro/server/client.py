@@ -1,25 +1,67 @@
-"""A small synchronous client over :mod:`http.client`.
+"""A hardened synchronous client over :mod:`http.client`.
 
 The client is the other half of the wire contract: it encodes with the
 same :mod:`repro.serving.api` codec the server decodes with, and it turns
 structured error bodies back into :class:`RemoteServerError` carrying the
-machine-readable ``code`` (and ``retry_after_seconds`` for 429s), so callers
-branch on codes — never on message text.
+machine-readable ``code`` (and ``retry_after_seconds`` where the server
+sent a backoff hint), so callers branch on codes — never on message text.
+
+Resilience (PR 8) — every logical request runs under:
+
+* **timeouts** — an explicit connect timeout and a separate read timeout
+  (``connect_timeout`` / ``read_timeout``, both defaulting to ``timeout``),
+  so a dead host fails fast without shortening long reads;
+* **keep-alive recovery** — a request that fails on a *reused* kept-alive
+  socket is resent once on a fresh connection (the server is allowed to
+  close idle connections; the race is not an error);
+* **retries** — a seeded :class:`~repro.resilience.retry.RetryPolicy` with
+  capped exponential backoff and jitter, honoring server ``Retry-After``
+  hints and an overall deadline.  Only *idempotent* traffic (``GET``,
+  ``/query``, ``/query/batch``) retries after the request may have been
+  processed; writes retry only when the request provably never reached the
+  server (connect failure) or the server refused it outright (429);
+* **a circuit breaker per endpoint** — transport failures and 5xx answers
+  count as failures, 4xx answers (including 429 backpressure) do not;
+  an open breaker fails calls locally with
+  :class:`~repro.core.exceptions.CircuitOpenError` until its reset
+  timeout elapses;
+* **an optional fault seam** — a :class:`~repro.resilience.faults.FaultPolicy`
+  fired before each attempt, so chaos tests inject client-side latency and
+  faults without touching sockets.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 from typing import Sequence
 
 from repro.core.exceptions import ServerError
 from repro.core.multiset import Multiset, MultisetId
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPolicy
+from repro.resilience.retry import RetryPolicy
 from repro.serving.api import (
     QueryRequest,
     QueryResponse,
     multiset_to_wire,
 )
+
+#: HTTP statuses the retry loop treats as transient for idempotent calls.
+_RETRYABLE_STATUSES = frozenset({429, 503, 504})
+
+
+class ClientTransportError(ServerError):
+    """A request that failed below HTTP: connect, send, or read.
+
+    ``sent`` records whether the request bytes may have reached the server
+    — the property the retry loop branches on for non-idempotent writes.
+    """
+
+    def __init__(self, message: str, *, sent: bool) -> None:
+        super().__init__(message)
+        self.sent = sent
 
 
 class RemoteServerError(ServerError):
@@ -27,7 +69,7 @@ class RemoteServerError(ServerError):
 
     Attributes mirror the wire body: ``code`` (stable machine-readable
     string), ``status`` (HTTP), ``remote_type`` (server-side exception
-    class name) and ``retry_after_seconds`` (backoff hint, 429 only).
+    class name) and ``retry_after_seconds`` (backoff hint, where sent).
     """
 
     def __init__(self, message: str, *, code: str = "internal_error",
@@ -52,42 +94,143 @@ class RemoteServerError(ServerError):
 class SimilarityClient:
     """Synchronous JSON client for one similarity server."""
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0,
+                 connect_timeout: float | None = None,
+                 read_timeout: float | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_failure_threshold: int = 5,
+                 breaker_reset_timeout_seconds: float = 1.0,
+                 fault_policy: FaultPolicy | None = None) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.connect_timeout = float(
+            connect_timeout if connect_timeout is not None else timeout)
+        self.read_timeout = float(
+            read_timeout if read_timeout is not None else timeout)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_policy = fault_policy
+        self._breaker_failure_threshold = breaker_failure_threshold
+        self._breaker_reset_timeout = breaker_reset_timeout_seconds
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._rng = random.Random(self.retry_policy.seed)
         self._connection: http.client.HTTPConnection | None = None
+        self.retries = 0
+        self.reconnects = 0
 
     # -- transport -------------------------------------------------------------
 
+    def _breaker(self, path: str) -> CircuitBreaker:
+        breaker = self._breakers.get(path)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                f"{self.host}:{self.port}{path}",
+                failure_threshold=self._breaker_failure_threshold,
+                reset_timeout_seconds=self._breaker_reset_timeout)
+            self._breakers[path] = breaker
+        return breaker
+
+    def _open_connection(self) -> http.client.HTTPConnection:
+        """Connect with the connect timeout, then arm the read timeout."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout)
+        try:
+            connection.connect()
+        except OSError as error:
+            raise ClientTransportError(
+                f"connect to {self.host}:{self.port} failed: {error}",
+                sent=False) from error
+        connection.sock.settimeout(self.read_timeout)
+        self._connection = connection
+        return connection
+
+    def _exchange(self, method: str, path: str, body: bytes | None,
+                  headers: dict) -> tuple[int, bytes]:
+        """One request/response over the wire.
+
+        A failure on a *reused* kept-alive socket is transparently resent
+        once on a fresh connection — the server may close idle connections
+        between requests, and that race is not a server failure.  Every
+        other transport failure raises :class:`ClientTransportError` with
+        its ``sent`` flag.
+        """
+        reused = self._connection is not None
+        for resend in (False, True):
+            sent = False
+            try:
+                connection = self._connection or self._open_connection()
+                connection.request(method, path, body=body, headers=headers)
+                sent = True
+                response = connection.getresponse()
+                return response.status, response.read()
+            except ClientTransportError:
+                raise
+            except (http.client.HTTPException, ConnectionError,
+                    OSError) as error:
+                self.close()
+                if reused and not resend:
+                    self.reconnects += 1
+                    reused = False
+                    continue
+                raise ClientTransportError(
+                    f"{method} {path} failed on the wire: {error!r}",
+                    sent=sent) from error
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict:
-        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+                 payload: dict | None = None, *,
+                 idempotent: bool | None = None) -> dict:
+        """One logical request: breaker, fault seam, retries, decoding."""
+        if idempotent is None:
+            idempotent = method == "GET" or path in ("/query", "/query/batch")
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
         headers = {"Content-Type": "application/json"} if body else {}
-        if self._connection is None:
-            self._connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout)
-        try:
-            self._connection.request(method, path, body=body, headers=headers)
-            response = self._connection.getresponse()
-            raw = response.read()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            # One reconnect: the server may have closed a kept-alive socket.
-            self.close()
-            self._connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout)
-            self._connection.request(method, path, body=body, headers=headers)
-            response = self._connection.getresponse()
-            raw = response.read()
-        try:
-            document = json.loads(raw) if raw else {}
-        except ValueError:
-            raise ServerError(
-                f"server answered non-JSON ({response.status}): "
-                f"{raw[:200]!r}") from None
-        if response.status >= 400:
-            raise RemoteServerError.from_body(response.status, document)
-        return document
+        breaker = self._breaker(path)
+        schedule = self.retry_policy.schedule(self._rng)
+        while True:
+            schedule.check_deadline(f"{method} {path}")
+            breaker.allow()
+            schedule.start_attempt()
+            if self.fault_policy is not None:
+                self.fault_policy.on_call(f"{method} {path}")
+            try:
+                status, raw = self._exchange(method, path, body, headers)
+            except ClientTransportError as error:
+                breaker.record_failure()
+                if not (idempotent or not error.sent) \
+                        or not schedule.attempts_left:
+                    raise
+                self.retries += 1
+                schedule.sleep_before_retry()
+                continue
+            try:
+                document = json.loads(raw) if raw else {}
+            except ValueError:
+                breaker.record_failure()
+                raise ServerError(
+                    f"server answered non-JSON ({status}): "
+                    f"{raw[:200]!r}") from None
+            if status < 400:
+                breaker.record_success()
+                return document
+            error = RemoteServerError.from_body(status, document)
+            if status >= 500:
+                # 4xx answers (including 429 backpressure) are the server
+                # working as intended; only 5xx trips the breaker.
+                breaker.record_failure()
+            retryable = (status == 429
+                         or (idempotent and status in _RETRYABLE_STATUSES))
+            if not retryable or not schedule.attempts_left:
+                raise error
+            self.retries += 1
+            schedule.sleep_before_retry(
+                server_hint=error.retry_after_seconds)
+
+    def breaker_stats(self) -> dict[str, dict]:
+        """Per-endpoint circuit-breaker statistics."""
+        return {path: breaker.stats()
+                for path, breaker in sorted(self._breakers.items())}
 
     def close(self) -> None:
         """Close the kept-alive connection (reopened on next use)."""
@@ -147,3 +290,22 @@ class SimilarityClient:
         """``POST /admin/recover``: reload the fleet from ``directory``."""
         return self._request("POST", "/admin/recover",
                              {"directory": directory})
+
+    def replicas(self) -> dict:
+        """``GET /admin/replicas``: per-replica health (replicated fleets)."""
+        return self._request("GET", "/admin/replicas")
+
+    def kill_replica(self, shard: int, replica: int, *,
+                     lose_state: bool = True) -> dict:
+        """``POST /admin/kill``: crash one replica (chaos entry point)."""
+        return self._request("POST", "/admin/kill",
+                             {"shard": shard, "replica": replica,
+                              "lose_state": lose_state})
+
+    def revive_replica(self, shard: int, replica: int, *,
+                       source: str | None = None) -> dict:
+        """``POST /admin/revive``: rebuild and readmit one down replica."""
+        payload = {"shard": shard, "replica": replica}
+        if source is not None:
+            payload["source"] = source
+        return self._request("POST", "/admin/revive", payload)

@@ -22,8 +22,10 @@ Status conventions:
 from __future__ import annotations
 
 from repro.core.exceptions import (
+    CircuitOpenError,
     CommunityError,
     DatasetError,
+    DeadlineExceededError,
     DiskBudgetExceeded,
     InvalidMultisetError,
     InvalidVectorError,
@@ -34,7 +36,10 @@ from repro.core.exceptions import (
     MemoryBudgetExceeded,
     PipelineError,
     QueueFullError,
+    ReplicaDivergenceError,
+    ReplicaUnavailableError,
     ReproError,
+    ResilienceError,
     ServerError,
     ServingError,
     StorageError,
@@ -49,6 +54,11 @@ from repro.core.interning import InterningError
 #: row unless listed themselves.
 ERROR_TABLE: tuple[tuple[type[ReproError], str, int], ...] = (
     (QueueFullError, "queue_full", 429),
+    (ReplicaUnavailableError, "replica_unavailable", 503),
+    (CircuitOpenError, "circuit_open", 503),
+    (DeadlineExceededError, "deadline_exceeded", 504),
+    (ReplicaDivergenceError, "replica_divergence", 500),
+    (ResilienceError, "resilience_error", 500),
     (ServerError, "server_error", 400),
     (InvalidMultisetError, "invalid_multiset", 400),
     (InvalidVectorError, "invalid_vector", 400),
@@ -93,16 +103,22 @@ def error_body(error: BaseException) -> tuple[int, dict]:
         {"error": {"code": "...", "status": 4xx,
                    "type": "ExceptionClassName", "message": "..."}}
 
-    plus code-specific extras (``retry_after_seconds`` for ``queue_full``).
+    plus code-specific extras: every backpressure-shaped error that
+    carries a ``retry_after_seconds`` attribute (``queue_full``,
+    ``replica_unavailable``, ``circuit_open``, ``deadline_exceeded``)
+    surfaces it in the body — and the transports mirror it into a
+    ``Retry-After`` header — so clients back off by the server's own
+    estimate instead of guessing.
     """
     code, status = classify(error)
     body: dict = {"error": {"code": code, "status": status,
                             "type": type(error).__name__,
                             "message": str(error)}}
-    if isinstance(error, QueueFullError):
-        body["error"]["retry_after_seconds"] = error.retry_after_seconds
-        if error.queue:
-            body["error"]["queue"] = error.queue
+    retry_after = getattr(error, "retry_after_seconds", None)
+    if retry_after is not None:
+        body["error"]["retry_after_seconds"] = float(retry_after)
+    if isinstance(error, QueueFullError) and error.queue:
+        body["error"]["queue"] = error.queue
     return status, body
 
 

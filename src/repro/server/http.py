@@ -31,8 +31,8 @@ MAX_HEAD_BYTES = 64 * 1024
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error", 504: "Gateway Timeout",
-            507: "Insufficient Storage"}
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout", 507: "Insufficient Storage"}
 
 
 def _render_response(status: int, document: dict, headers: dict,

@@ -152,6 +152,11 @@ class ReplicatedShard:
     def measure(self) -> NominalSimilarityMeasure:
         return self.replicas[0].node.measure
 
+    @property
+    def cache_capacity(self) -> int:
+        """Per-replica LRU result-cache capacity."""
+        return self._node_settings["cache_capacity"]
+
     def healthy_replicas(self) -> list[Replica]:
         """The replicas currently serving (fan-in targets, read candidates)."""
         return [replica for replica in self.replicas if replica.healthy]
@@ -218,9 +223,13 @@ class ReplicatedShard:
         fault fires before the node mutates, so the ejected replica simply
         missed the write and will rebuild on recovery.  A deterministic
         :class:`ServingError` (duplicate add, missing delete) propagates
-        unchanged: it would fail identically on every replica, and on the
-        replicas already visited it failed *before* mutating, so the set
-        stays consistent.
+        unchanged: it would fail identically on every replica, and it fails
+        *before* mutating — single-item writes are atomic and bulk batches
+        are pre-validated by :meth:`bulk_load` — so the set stays
+        consistent.  Should a :class:`ServingError` nevertheless fire after
+        the node already mutated (the index version moved), the write
+        half-applied: that replica no longer matches its peers and is
+        ejected to rebuild rather than left healthy with diverged state.
         """
         applied = 0
         deterministic_failure: ServingError | None = None
@@ -229,6 +238,8 @@ class ReplicatedShard:
                 replica.call(operation, getattr(replica.node, function_name),
                              *args)
             except ServingError as error:
+                if replica.node.index.version != replica.expected_version:
+                    self._eject(replica, f"{operation} half-applied: {error}")
                 deterministic_failure = error
                 break
             except Exception as error:  # noqa: BLE001 — fault path
@@ -256,8 +267,28 @@ class ReplicatedShard:
 
     def bulk_load(self, multisets: Iterable[Multiset],
                   replace: bool = False) -> int:
-        """Fan a bulk load in; returns the count indexed (per replica)."""
+        """Fan a bulk load in; returns the count indexed (per replica).
+
+        The batch is validated *before* any replica mutates: node bulk
+        loads apply items incrementally, so a duplicate identifier rejected
+        mid-batch would leave the first replica partially loaded while its
+        peers got nothing.  Rejecting the batch up front keeps the fan-in
+        all-or-nothing on every replica.
+        """
         batch = list(multisets)
+        if not replace:
+            seen: set[MultisetId] = set()
+            primary = self._primary()
+            for multiset in batch:
+                if multiset.id in seen:
+                    raise ServingError(
+                        f"bulk batch contains {multiset.id!r} twice; "
+                        "load it once (or pass replace=True)")
+                if multiset.id in primary.node:
+                    raise ServingError(
+                        f"multiset {multiset.id!r} is already indexed; "
+                        "pass replace=True to overwrite")
+                seen.add(multiset.id)
         self._fan_in("bulk_load", "bulk_load", batch, replace)
         return len(batch)
 

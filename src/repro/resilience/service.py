@@ -82,6 +82,16 @@ class ReplicatedSimilarityService:
         """The measure the fleet serves."""
         return self.shards[0].measure
 
+    @property
+    def read_strategy(self) -> str:
+        """The read-spreading strategy every shard uses."""
+        return self.shards[0].read_strategy
+
+    @property
+    def cache_capacity(self) -> int:
+        """Per-replica LRU result-cache capacity."""
+        return self.shards[0].cache_capacity
+
     def __len__(self) -> int:
         """Logical member count (each member counted once, not per replica)."""
         return sum(len(shard) for shard in self.shards)

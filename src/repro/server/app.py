@@ -54,6 +54,7 @@ background loop ejects broken replicas and readmits recovered ones.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -85,6 +86,22 @@ from repro.server.queues import CoalescingQueue
 
 _UPSERT = "upsert"
 _DELETE = "delete"
+
+logger = logging.getLogger(__name__)
+
+
+def _log_orphan_failure(task: asyncio.Task) -> None:
+    """Consume a deadline-orphaned task's outcome; log a late failure.
+
+    Without this, a shielded task that fails after its caller timed out
+    leaves asyncio's "Task exception was never retrieved" as the only
+    trace of the failure.
+    """
+    if task.cancelled():
+        return
+    error = task.exception()
+    if error is not None:
+        logger.warning("deadline-orphaned request failed late: %r", error)
 
 
 @dataclass(frozen=True)
@@ -400,14 +417,18 @@ class SimilarityServerApp:
         On expiry the admitted work is *not* cancelled (the coalesced batch
         may be answering other callers); only this caller's wait ends, with
         a ``504 deadline_exceeded`` carrying the standard backoff hint.
+        The orphaned task's eventual outcome is still consumed (and a late
+        failure logged) so it never dies unobserved.
         """
         timeout = self.config.request_timeout_seconds
         if timeout is None:
             return await awaitable
+        task = asyncio.ensure_future(awaitable)
         try:
-            return await asyncio.wait_for(asyncio.shield(awaitable), timeout)
+            return await asyncio.wait_for(asyncio.shield(task), timeout)
         except asyncio.TimeoutError:
             self.deadline_failures += 1
+            task.add_done_callback(_log_orphan_failure)
             raise DeadlineExceededError(
                 f"{what} was not answered within {timeout}s",
                 deadline_seconds=timeout,
@@ -592,10 +613,13 @@ class SimilarityServerApp:
                 # type(...) keeps the fleet flavour: a replicated service
                 # recovers replicated (every replica reloading the same
                 # per-shard file), an unreplicated one recovers as before.
-                kwargs = {}
+                # The running fleet's tuning survives the swap too — the
+                # recovered service must not silently reset to defaults.
+                kwargs = {"cache_capacity": self.service.cache_capacity}
                 if hasattr(self.service, "replication_factor"):
                     kwargs["replication_factor"] = \
                         self.service.replication_factor
+                    kwargs["read_strategy"] = self.service.read_strategy
                 self.service = type(self.service).recover(directory, **kwargs)
                 return {"recovered": True,
                         "num_shards": self.service.num_shards,

@@ -13,7 +13,10 @@ Resilience (PR 8) — every logical request runs under:
   so a dead host fails fast without shortening long reads;
 * **keep-alive recovery** — a request that fails on a *reused* kept-alive
   socket is resent once on a fresh connection (the server is allowed to
-  close idle connections; the race is not an error);
+  close idle connections; the race is not an error), but only when the
+  resend is provably safe: the request never finished sending, or it is
+  idempotent.  A write that may already have reached the server fails
+  with ``sent=True`` instead, preserving at-most-once semantics;
 * **retries** — a seeded :class:`~repro.resilience.retry.RetryPolicy` with
   capped exponential backoff and jitter, honoring server ``Retry-After``
   hints and an overall deadline.  Only *idempotent* traffic (``GET``,
@@ -145,12 +148,17 @@ class SimilarityClient:
         return connection
 
     def _exchange(self, method: str, path: str, body: bytes | None,
-                  headers: dict) -> tuple[int, bytes]:
+                  headers: dict, *, idempotent: bool = False
+                  ) -> tuple[int, bytes]:
         """One request/response over the wire.
 
         A failure on a *reused* kept-alive socket is transparently resent
         once on a fresh connection — the server may close idle connections
-        between requests, and that race is not a server failure.  Every
+        between requests, and that race is not a server failure.  The
+        resend only happens when it cannot double-apply: either the request
+        never finished sending, or it is idempotent.  A non-idempotent
+        write that may already have reached the server (``sent``) raises
+        instead, so the retry loop's at-most-once contract holds.  Every
         other transport failure raises :class:`ClientTransportError` with
         its ``sent`` flag.
         """
@@ -168,7 +176,7 @@ class SimilarityClient:
             except (http.client.HTTPException, ConnectionError,
                     OSError) as error:
                 self.close()
-                if reused and not resend:
+                if reused and not resend and (idempotent or not sent):
                     self.reconnects += 1
                     reused = False
                     continue
@@ -195,7 +203,8 @@ class SimilarityClient:
             if self.fault_policy is not None:
                 self.fault_policy.on_call(f"{method} {path}")
             try:
-                status, raw = self._exchange(method, path, body, headers)
+                status, raw = self._exchange(method, path, body, headers,
+                                             idempotent=idempotent)
             except ClientTransportError as error:
                 breaker.record_failure()
                 if not (idempotent or not error.sent) \

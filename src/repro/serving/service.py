@@ -71,6 +71,11 @@ class ShardedSimilarityService:
         """The measure the fleet serves."""
         return self.nodes[0].measure
 
+    @property
+    def cache_capacity(self) -> int:
+        """Per-node LRU result-cache capacity."""
+        return self.nodes[0].cache.capacity
+
     def __len__(self) -> int:
         return sum(len(node) for node in self.nodes)
 

@@ -20,7 +20,9 @@ Four layers of coverage:
 
 from __future__ import annotations
 
+import asyncio
 import http.client
+import logging
 import pickle
 import random
 import threading
@@ -369,6 +371,27 @@ class TestReplicatedShard:
             shard.remove("ghost")
         assert shard.num_healthy() == 2
         shard.check_divergence()
+
+    def test_bulk_load_rejects_bad_batches_before_any_replica_mutates(self):
+        members = corpus()
+        shard = ReplicatedShard("ruzicka", 2)
+        shard.bulk_load(members[:5])
+        # Node bulk loads apply incrementally, so a duplicate rejected
+        # mid-batch on the first replica would leave it partially loaded
+        # while its peers got nothing.  The shard validates up front: no
+        # replica mutates, none diverges, none is ejected.
+        with pytest.raises(ServingError, match="already indexed"):
+            shard.bulk_load([members[5], members[2], members[6]])
+        with pytest.raises(ServingError, match="twice"):
+            shard.bulk_load([members[7], members[8], members[7]])
+        assert shard.num_healthy() == 2
+        assert all(len(replica.node) == 5 for replica in shard.replicas)
+        shard.check_divergence()
+        # Clean batches and replace-mode collisions still load everywhere.
+        assert shard.bulk_load(members[5:8]) == 3
+        assert shard.bulk_load(members[:8], replace=True) == 8
+        shard.check_divergence()
+        assert all(len(replica.node) == 8 for replica in shard.replicas)
 
     def test_write_fault_ejects_the_replica_and_survivors_stay_exact(self):
         members = corpus()
@@ -879,6 +902,30 @@ class TestClientHardening:
         assert client.reconnects == 1
         assert client.retries == 0
 
+    def test_dropped_keep_alive_write_is_not_resent_after_sending(self):
+        members = corpus()
+        app = make_app(members)
+        with InProcessServer(app) as server:
+            client = SimilarityClient(server.host, server.port,
+                                      retry_policy=FAST_RETRIES)
+            assert client.health()["status"] == "ok"
+            # The reused socket dies *after* the request went out: the
+            # server may already have applied the write, so transparently
+            # resending it could double-apply.  The client must surface
+            # the ambiguity (sent=True) instead.
+            connection = client._connection
+
+            def dropped_mid_flight():
+                raise http.client.RemoteDisconnected(
+                    "server closed the connection mid-response")
+
+            connection.getresponse = dropped_mid_flight
+            with pytest.raises(ClientTransportError) as caught:
+                client.upsert(Multiset("new", {"a": 1}))
+        assert caught.value.sent
+        assert client.reconnects == 0
+        assert client.retries == 0
+
     def test_client_fault_policy_seam(self):
         client = SimilarityClient(
             "127.0.0.1", 1, retry_policy=RetryPolicy(max_attempts=1),
@@ -1071,6 +1118,55 @@ class TestServerHardening:
             assert app.service.replication_factor == 2
             assert client.query(request) == before
             assert client.replicas()["replication_factor"] == 2
+
+    def test_recover_preserves_fleet_tuning(self, tmp_path):
+        members = corpus()
+        service = ReplicatedSimilarityService(
+            "ruzicka", 2, replication_factor=3, cache_capacity=7,
+            read_strategy=RENDEZVOUS)
+        service.bulk_load(members)
+        app = SimilarityServerApp(service)
+        directory = str(tmp_path / "snap")
+        with InProcessServer(app) as server:
+            client = SimilarityClient(server.host, server.port,
+                                      retry_policy=FAST_RETRIES)
+            client.persist(directory)
+            client.recover(directory)
+        # /admin/recover must not silently reset the running fleet's
+        # tuning to the constructor defaults.
+        assert app.service.replication_factor == 3
+        assert app.service.read_strategy == RENDEZVOUS
+        assert app.service.cache_capacity == 7
+        # The unreplicated fleet keeps its cache size too.
+        unreplicated = ShardedSimilarityService("ruzicka", 2,
+                                                cache_capacity=9)
+        unreplicated.bulk_load(members)
+        app = SimilarityServerApp(unreplicated)
+        with InProcessServer(app) as server:
+            client = SimilarityClient(server.host, server.port,
+                                      retry_policy=FAST_RETRIES)
+            client.persist(directory)
+            client.recover(directory)
+        assert app.service.cache_capacity == 9
+
+    def test_orphaned_deadline_task_failure_is_logged(self, caplog):
+        app = make_app(corpus(), request_timeout_seconds=0.05)
+
+        async def scenario():
+            async def late_failure():
+                await asyncio.sleep(0.2)
+                raise QueueFullError("failed after the caller gave up", 0.1)
+
+            with pytest.raises(DeadlineExceededError):
+                await app._with_deadline(late_failure(), "probe")
+            # The orphan keeps running past the deadline; its failure must
+            # be consumed and logged, never "exception was never retrieved".
+            await asyncio.sleep(0.3)
+
+        with caplog.at_level(logging.WARNING, logger="repro.server.app"):
+            asyncio.run(scenario())
+        assert "deadline-orphaned" in caplog.text
+        assert "failed after the caller gave up" in caplog.text
 
     def test_graceful_drain_answers_every_admitted_request_under_latency(self):
         """SIGTERM-equivalent close() during an injected-latency batch.

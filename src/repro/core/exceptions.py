@@ -60,6 +60,17 @@ class UnsupportedFeatureError(MapReduceError):
     """
 
 
+class BackendError(MapReduceError):
+    """Raised when an execution backend cannot be constructed or driven.
+
+    Covers missing optional dependencies (``get_backend("sql",
+    engine="duckdb")`` without the ``repro[duckdb]`` extra installed),
+    invalid backend options and backend-internal failures that are not a
+    job's fault.  The message always names the remedy — the dependency and
+    the extra to install, or the valid option values.
+    """
+
+
 class MemoryBudgetExceeded(MapReduceError):
     """Raised when a task needs more memory than its machine provides.
 

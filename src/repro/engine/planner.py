@@ -245,8 +245,13 @@ class JoinPlan:
                     f"{candidate.predicted_seconds:>12,.0f} s  "
                     f"({len(candidate.jobs)} jobs){note}")
         lines.append(f"  per-job predicted cost ({self.algorithm}):")
+        # The disk column only appears when the calibration prices disk
+        # spill (CostParameters.disk_bandwidth set): an all-zero column
+        # would just be noise under the default in-memory calibration.
+        show_disk = any(job.cost.disk_seconds for job in self.chosen.jobs)
         header = (f"    {'job':<22} {'total':>10} {'overhead':>9} "
-                  f"{'side':>8} {'map':>9} {'shuffle':>9} {'reduce':>9}")
+                  f"{'side':>8} {'map':>9} {'shuffle':>9} {'reduce':>9}"
+                  + (f" {'disk':>9}" if show_disk else ""))
         lines.append(header)
         for job in self.chosen.jobs:
             cost = job.cost
@@ -256,7 +261,8 @@ class JoinPlan:
                 f"{cost.side_data_seconds:>8,.1f} "
                 f"{cost.map_seconds:>9,.1f} "
                 f"{cost.shuffle_seconds:>9,.1f} "
-                f"{cost.reduce_seconds:>9,.1f}")
+                f"{cost.reduce_seconds:>9,.1f}"
+                + (f" {cost.disk_seconds:>9,.1f}" if show_disk else ""))
         return "\n".join(lines)
 
 
@@ -479,6 +485,10 @@ class Planner:
             0: max(reduce_total / machines, reduce_max_unit)}
 
         stats.shuffle_bytes = int(shuffle_bytes)
+        # As in the runner: the map-side spill writes exactly the shuffled
+        # bytes, which is what the disk-I/O cost term (when calibrated)
+        # charges for.
+        stats.spilled_bytes = int(shuffle_bytes)
         stats.max_group_bytes = int(max_group_bytes)
         stats.reduce_groups = int(reduce_groups)
         stats.side_data_bytes = int(side_data_bytes)

@@ -1,0 +1,35 @@
+"""Out-of-core and SQL-pushdown execution backends.
+
+This package plugs two production-shaped execution strategies into the
+:class:`~repro.mapreduce.backends.ExecutionBackend` seam:
+
+* ``"disk"`` — :class:`DiskShuffleBackend`: the shuffle spills sorted
+  runs to temporary files under a byte budget and streams reduce groups
+  back through a k-way merge, so joins run on corpora far larger than
+  memory;
+* ``"sql"`` — :class:`SqlBackend`: the V-SMART-Join reduce phases
+  (Similarity1/2, Online-Aggregation) compile into set-oriented SQL over
+  SQLite or DuckDB, with an exact Python fallback for everything else.
+
+Both are bit-identical to the serial backend in results, counters and
+statistics; their physical telemetry lives in the reserved ``shuffle/``
+and ``sql/`` counter namespaces.  Importing this package registers both
+under their names, and :func:`repro.mapreduce.backends.get_backend`
+imports it lazily, so ``get_backend("disk")`` and every
+``JoinSpec(backend=...)`` string just work.
+"""
+
+from repro.exec.diskshuffle import DEFAULT_MEMORY_BUDGET_BYTES, DiskShuffleBackend
+from repro.exec.shuffle import ExternalGrouper
+from repro.exec.sqlbackend import SqlBackend
+from repro.mapreduce.backends import register_backend
+
+register_backend(DiskShuffleBackend)
+register_backend(SqlBackend)
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "DiskShuffleBackend",
+    "ExternalGrouper",
+    "SqlBackend",
+]

@@ -1,0 +1,105 @@
+"""Group-by-group replication of the generic reduce task's accounting.
+
+Both ``repro.exec`` backends replace the runner's reduce *task* machinery
+(:func:`repro.mapreduce.phases.execute_reduce_task`) with their own loops
+— a streaming merge of spilled runs, or a SQL aggregation — but the parity
+contract requires the resulting :class:`~repro.mapreduce.types.JobStats`
+and counters to be bit-identical to the serial path.
+:class:`ReduceAccounting` centralises that bookkeeping so each backend
+only supplies the per-group record flow:
+
+* call :meth:`start_group` before reducing a group — it tracks group
+  maxima and, for materialising reducers, enforces the per-machine memory
+  budget in the same order (and with the same message) as the serial
+  runner;
+* feed every emitted record through :meth:`emit`;
+* call :meth:`finish_group` with the group's totals;
+* call :meth:`finish` once at the end — it runs the reducer's ``cleanup``
+  hook (charged to machine 0, as in the serial task), folds the phase
+  partial into the job stats and returns the output records.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import TaskContext
+from repro.mapreduce.phases import check_memory_budget
+from repro.mapreduce.types import PhaseStats, estimate_record_bytes
+
+
+class ReduceAccounting:
+    """Exact stats/counters bookkeeping for a custom reduce loop."""
+
+    def __init__(self, runner: Any, job: Any) -> None:
+        self.task_counters = Counters()
+        self.context = TaskContext(self.task_counters, job.side_data,
+                                   runner.cluster.num_machines, job.name)
+        self.overhead = runner.cost_parameters.record_overhead_bytes
+        self.machines = runner.cluster.num_machines
+        self.memory_budget = (runner.cluster.memory_per_machine
+                              if runner.enforce_budgets else None)
+        self.phase = PhaseStats()
+        self.output_records: list[Any] = []
+        self.reduce_groups = 0
+        self.max_group_records = 0
+        self.max_group_bytes = 0
+        self.peak_task_memory = 0
+        # One reduce task per job on these single-worker backends, so the
+        # lifecycle hooks run exactly once, as on the serial backend.
+        job.reducer.setup(self.context)
+
+    def start_group(self, job: Any, key: Any, group_records: int,
+                    bytes_in: int, materializes_input: bool) -> None:
+        """Account a group about to be reduced; may raise on memory budget."""
+        self.reduce_groups += 1
+        if group_records > self.max_group_records:
+            self.max_group_records = group_records
+        if bytes_in > self.max_group_bytes:
+            self.max_group_bytes = bytes_in
+        if materializes_input:
+            if bytes_in > self.peak_task_memory:
+                self.peak_task_memory = bytes_in
+            check_memory_budget(job.name, f"reduce value list of key {key!r}",
+                                bytes_in, self.memory_budget)
+
+    def emit(self, record: Any) -> int:
+        """Collect one output record, returning its estimated size."""
+        self.output_records.append(record)
+        return estimate_record_bytes(record)
+
+    def finish_group(self, partition: int, group_records: int, bytes_in: int,
+                     bytes_out: int, records_out: int) -> None:
+        """Fold one reduced group into the phase statistics."""
+        work = bytes_in + bytes_out + self.overhead * group_records
+        phase = self.phase
+        phase.records_in += group_records
+        phase.records_out += records_out
+        phase.bytes_in += bytes_in
+        phase.bytes_out += bytes_out
+        phase.add_machine_work(partition % self.machines, work)
+
+    def finish(self, job: Any, stats: Any, counters: Counters) -> list[Any]:
+        """Run cleanup, merge everything into the job stats, return output."""
+        cleanup_bytes = 0
+        cleanup_count = 0
+        for record in job.reducer.cleanup(self.context):
+            self.output_records.append(record)
+            cleanup_bytes += estimate_record_bytes(record)
+            cleanup_count += 1
+        if cleanup_count:
+            self.phase.records_out += cleanup_count
+            self.phase.bytes_out += cleanup_bytes
+            self.phase.add_machine_work(
+                0, cleanup_bytes + self.overhead * cleanup_count)
+        stats.reduce.merge(self.phase)
+        stats.reduce_groups += self.reduce_groups
+        stats.max_group_records = max(stats.max_group_records,
+                                      self.max_group_records)
+        stats.max_group_bytes = max(stats.max_group_bytes,
+                                    self.max_group_bytes)
+        stats.peak_task_memory = max(stats.peak_task_memory,
+                                     self.peak_task_memory)
+        counters.merge_dict(self.task_counters.as_dict())
+        return self.output_records

@@ -1,0 +1,136 @@
+"""Out-of-core shuffle backend: joins on corpora larger than memory.
+
+The in-memory runner holds the whole shuffle — every intermediate record,
+grouped by key — in one dictionary, which caps the corpus a join can
+handle at available RAM.  :class:`DiskShuffleBackend` replaces exactly
+that stage with the external merge sort of
+:class:`~repro.exec.shuffle.ExternalGrouper`: map and combine run through
+the runner's own (serial) loops, the partitioned output is spilled to
+sorted run files under a configurable byte budget, and the reduce phase
+streams groups back from a k-way merge one at a time, so peak memory is
+bounded by the budget plus the largest single reduce group.
+
+Parity contract: output records, counters and :class:`JobStats` are
+bit-identical to the :class:`~repro.mapreduce.backends.SerialBackend` —
+the grouper reproduces the serial shuffle's exact group order (see its
+module docstring), and the streaming reduce replicates the serial task's
+accounting through :class:`~repro.exec.accounting.ReduceAccounting`.
+``spilled_bytes`` stays the *modeled* quantity (the shuffle volume, as on
+every backend), so simulated times agree across backends even when the
+cost model charges a disk term; the physical run-file telemetry is
+reported separately through counters in the reserved ``shuffle/``
+namespace (``shuffle/runs_written``, ``shuffle/bytes_spilled``,
+``shuffle/merge_passes``, ``shuffle/peak_buffer_bytes``,
+``shuffle/spilled_records``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator, Sequence
+
+from repro.core.exceptions import BackendError
+from repro.exec.accounting import ReduceAccounting
+from repro.exec.shuffle import ExternalGrouper
+from repro.mapreduce.backends import ExecutionBackend
+from repro.mapreduce.types import KeyValue, estimate_record_bytes
+
+#: Default spill budget: small enough that big benchmark corpora actually
+#: go out of core, large enough that unit-test joins stay in memory.
+DEFAULT_MEMORY_BUDGET_BYTES = 32 * 1024 * 1024
+
+
+class DiskShuffleBackend(ExecutionBackend):
+    """Run jobs with an external (disk-spilling) shuffle.
+
+    ``memory_budget_bytes`` bounds the shuffle buffer (per worker; this
+    backend always runs one), ``temp_dir`` overrides where run files live
+    and ``merge_fan_in`` caps how many runs one merge pass reads.  The
+    temporary directory is created per job and removed when the job
+    finishes — including on error or cancellation.
+    """
+
+    name = "disk"
+
+    def __init__(self, num_workers: int | None = None, *,
+                 memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+                 temp_dir: str | None = None,
+                 merge_fan_in: int = 8) -> None:
+        # Map/combine/reduce loops must match the serial runner exactly,
+        # so the backend always uses one worker (as SerialBackend does).
+        super().__init__(1)
+        if int(memory_budget_bytes) < 1:
+            raise BackendError(
+                f"disk backend memory_budget_bytes must be at least 1 byte, "
+                f"got {memory_budget_bytes!r}")
+        if int(merge_fan_in) < 2:
+            raise BackendError(
+                f"disk backend merge_fan_in must be at least 2, "
+                f"got {merge_fan_in!r}")
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.temp_dir = temp_dir
+        self.merge_fan_in = int(merge_fan_in)
+
+    def run_tasks(self, function: Callable[[Any], Any],
+                  tasks: Sequence[Any]) -> list[Any]:
+        return [function(task) for task in tasks]
+
+    def execute_phases(self, runner: Any, job: Any, dataset: Any,
+                       stats: Any, counters: Any,
+                       num_reducers: int) -> list[Any] | None:
+        """Run the job with the shuffle going through spill files."""
+        map_output, _ = runner._run_map_phase(
+            job, dataset, stats, counters, num_reducers, build_spill=False)
+        if job.combiner is not None:
+            map_output, _ = runner._run_combine_phase(
+                job, map_output, stats, counters, num_reducers,
+                build_spill=False)
+        stats.shuffle_bytes = (stats.combine.bytes_out
+                               if job.combiner is not None
+                               else stats.map.bytes_out)
+        stats.spilled_bytes = stats.shuffle_bytes
+        if job.reducer is None:
+            return list(map_output)
+
+        grouper = ExternalGrouper(self.memory_budget_bytes,
+                                  temp_dir=self.temp_dir,
+                                  merge_fan_in=self.merge_fan_in)
+        try:
+            partitioner = job.partitioner
+            for key_value in map_output:
+                grouper.add(partitioner(key_value.key, num_reducers),
+                            key_value, estimate_record_bytes(key_value))
+            output_records = _streaming_reduce(runner, job,
+                                               grouper.iter_groups(),
+                                               stats, counters)
+            telemetry = dict(grouper.telemetry)
+        finally:
+            grouper.close()
+        for name, value in telemetry.items():
+            counters.increment(f"shuffle/{name}", value)
+        return output_records
+
+
+def _streaming_reduce(runner: Any, job: Any,
+                      groups: Iterator[tuple[int, Hashable, list[KeyValue]]],
+                      stats: Any, counters: Any) -> list[Any]:
+    """Reduce groups as they stream out of the merge, serially accounted."""
+    reducer = job.reducer
+    accounting = ReduceAccounting(runner, job)
+    sort_by_secondary = (job.requires_secondary_keys
+                         and runner.cluster.profile.supports_secondary_keys)
+    materializes_input = reducer.materializes_input
+    for partition, key, key_values in groups:
+        if sort_by_secondary:
+            key_values.sort(key=lambda kv: (kv.secondary is None, kv.secondary))
+        values = [kv.value for kv in key_values]
+        bytes_in = sum(estimate_record_bytes(kv) for kv in key_values)
+        accounting.start_group(job, key, len(values), bytes_in,
+                               materializes_input)
+        bytes_out = 0
+        records_out = 0
+        for record in reducer.reduce(key, values, accounting.context):
+            bytes_out += accounting.emit(record)
+            records_out += 1
+        accounting.finish_group(partition, len(values), bytes_in,
+                                bytes_out, records_out)
+    return accounting.finish(job, stats, counters)

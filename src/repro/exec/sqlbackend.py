@@ -1,0 +1,443 @@
+"""SQL-pushdown backend: compile V-SMART-Join phases into set-oriented SQL.
+
+:class:`SqlBackend` recognises the three reduce shapes of the paper's
+pipelines and replaces their Python reduce loops with one aggregation
+query each, executed over SQLite (stdlib) or DuckDB (the optional
+``repro[duckdb]`` extra):
+
+* **Similarity2** — the conjunctive fold per candidate pair becomes
+  ``SELECT gid, SUM(c0), ... GROUP BY gid``;
+* **Similarity1** — the quadratic candidate enumeration per element
+  becomes a self-join of the postings table
+  (``a.gid = b.gid AND a.gidx < b.gidx AND a.mid <> b.mid``), ordered to
+  reproduce the serial nested loop exactly; upper-bound pruning and
+  record construction stay in Python so floats stay bit-identical;
+* **Online-Aggregation** — the ``Uni`` accumulation per multiset becomes
+  the same grouped ``SUM``.
+
+Parity contract: results, counters and stats are bit-identical to the
+serial backend.  Pushing a float fold into SQL reorders the additions, so
+each compiler *gates* on the inputs: partials must be merged by the base
+measure's element-wise sum, the identity must be all zeros, and every
+component must be an integral float (the V-SMART-Join partials are sums
+of integer multiplicities and minima/products thereof, so this holds for
+every stock measure) with group totals below ``2**53`` — integer-valued
+float addition is associative below that bound, making ``SUM`` order
+independent.  When a gate fails — or the job is not one of the three
+shapes (sharding, lookup table building, chunked or stop-worded
+Similarity1, arbitrary user jobs) — the backend falls back to the exact
+generic Python path, so it is always safe to select.
+
+Pushdown observability lands in the reserved ``sql/`` counter namespace
+(``sql/pushdown_jobs``, ``sql/fallback_jobs``), excluded from the parity
+contract like ``shuffle/``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.exceptions import BackendError
+from repro.core.records import JoinedTuple, SimilarPair
+from repro.exec.accounting import ReduceAccounting
+from repro.mapreduce.backends import ExecutionBackend
+from repro.mapreduce.phases import Spill, spill_record
+from repro.mapreduce.types import KeyValue, estimate_record_bytes
+from repro.similarity.base import NominalSimilarityMeasure
+from repro.vsmart.online_aggregation import UNI_TAG, OnlineAggregationReducer
+from repro.vsmart.similarity_phase import Similarity1Reducer, Similarity2Reducer
+
+#: Largest magnitude at which float addition of integers is still exact.
+_EXACT_SUM_BOUND = 2.0 ** 53
+
+
+def _load_duckdb() -> Any:
+    try:
+        import duckdb
+    except ImportError as error:
+        raise BackendError(
+            "the 'sql' backend with engine='duckdb' requires the optional "
+            "duckdb dependency, which is not installed; install it with "
+            "pip install 'repro[duckdb]' (or use the stdlib default "
+            "engine='sqlite', which needs nothing extra)") from error
+    return duckdb
+
+
+class _Scratch:
+    """Minimal uniform cursor API over a sqlite3 or duckdb connection."""
+
+    def __init__(self, connection: Any) -> None:
+        self._connection = connection
+
+    def run(self, sql: str) -> None:
+        self._connection.execute(sql)
+
+    def load(self, sql: str, rows: Sequence[tuple]) -> None:
+        self._connection.executemany(sql, rows)
+
+    def rows(self, sql: str) -> list[tuple]:
+        return self._connection.execute(sql).fetchall()
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class SqlBackend(ExecutionBackend):
+    """Execute the V-SMART-Join reduce phases as SQL aggregations.
+
+    ``engine`` selects ``"sqlite"`` (stdlib, the default) or ``"duckdb"``
+    (requires the ``repro[duckdb]`` extra; missing it raises
+    :class:`~repro.core.exceptions.BackendError` here, at construction,
+    never mid-job).  ``database`` optionally points the scratch space at a
+    file (per-job tables are dropped and recreated); the default is a
+    private in-memory database per job.
+    """
+
+    name = "sql"
+
+    def __init__(self, num_workers: int | None = None, *,
+                 engine: str = "sqlite",
+                 database: str | None = None) -> None:
+        # As for the disk backend: map/combine must match the serial
+        # runner exactly, so the backend always uses one worker.
+        super().__init__(1)
+        engine_name = str(engine).strip().lower()
+        if engine_name not in ("sqlite", "duckdb"):
+            raise BackendError(
+                f"unknown SQL engine {engine!r} for the 'sql' backend; "
+                f"choose 'sqlite' (stdlib) or 'duckdb' (needs the "
+                f"repro[duckdb] extra)")
+        self._duckdb = _load_duckdb() if engine_name == "duckdb" else None
+        self.engine = engine_name
+        self.database = database
+
+    def run_tasks(self, function: Callable[[Any], Any],
+                  tasks: Sequence[Any]) -> list[Any]:
+        return [function(task) for task in tasks]
+
+    # -- job orchestration ----------------------------------------------------
+
+    def execute_phases(self, runner: Any, job: Any, dataset: Any,
+                       stats: Any, counters: Any,
+                       num_reducers: int) -> list[Any] | None:
+        compiler = self._compiler_for(job)
+        if compiler is None:
+            return None  # not a known phase shape: generic path
+        map_output, _ = runner._run_map_phase(
+            job, dataset, stats, counters, num_reducers, build_spill=False)
+        if job.combiner is not None:
+            map_output, _ = runner._run_combine_phase(
+                job, map_output, stats, counters, num_reducers,
+                build_spill=False)
+        stats.shuffle_bytes = (stats.combine.bytes_out
+                               if job.combiner is not None
+                               else stats.map.bytes_out)
+        stats.spilled_bytes = stats.shuffle_bytes
+        # Group exactly as the serial shuffle does, then hand the reduce
+        # phase to the compiled query.
+        spill: Spill = {}
+        partitioner = job.partitioner
+        for key_value in map_output:
+            spill_record(spill, partitioner(key_value.key, num_reducers),
+                         key_value)
+        partitions = runner._finish_shuffle(job, spill)
+        output_records = compiler(runner, job, partitions, stats, counters)
+        if output_records is None:
+            # A pushdown gate failed (non-integral partials, overridden
+            # merge, oversized sums): run the exact Python reduce.
+            counters.increment("sql/fallback_jobs", 1)
+            return runner._run_reduce_phase(job, partitions, stats, counters)
+        counters.increment("sql/pushdown_jobs", 1)
+        return output_records
+
+    def _compiler_for(self, job: Any) -> Callable[..., list[Any] | None] | None:
+        reducer = job.reducer
+        if isinstance(reducer, Similarity2Reducer):
+            return self._reduce_similarity2
+        if isinstance(reducer, Similarity1Reducer):
+            config = reducer.config
+            # Chunked reducers emit chunk-pair records (different job
+            # shape) and stop-worded ones drop whole groups; both keep
+            # the exact Python loop.
+            if config.chunk_size is None and config.stop_word_frequency is None:
+                return self._reduce_similarity1
+            return None
+        if isinstance(reducer, OnlineAggregationReducer):
+            return self._reduce_online_aggregation
+        return None
+
+    # -- scratch databases ----------------------------------------------------
+
+    def _connect(self) -> _Scratch:
+        if self.engine == "duckdb":
+            return _Scratch(self._duckdb.connect(self.database or ":memory:"))
+        connection = sqlite3.connect(self.database or ":memory:",
+                                     timeout=5.0, isolation_level=None)
+        # Mirror repro.storage.StorageEngine's pragma discipline so
+        # file-backed scratch databases behave like the persistence
+        # tier's stores (WAL readers don't block the writer, bounded
+        # lock waits instead of immediate failures).
+        connection.execute("PRAGMA busy_timeout = 5000")
+        connection.execute("PRAGMA journal_mode = WAL")
+        connection.execute("PRAGMA synchronous = NORMAL")
+        connection.execute("PRAGMA foreign_keys = ON")
+        return _Scratch(connection)
+
+    def _grouped_sums(self, arity: int,
+                      rows: list[tuple]) -> dict[int, tuple[float, ...]] | None:
+        """Sum integral partials per group: ``gid -> component sums``.
+
+        Returns ``None`` when any total reaches ``2**53`` (float addition
+        would no longer be exact in every order — fall back to Python).
+        """
+        columns = ", ".join(f"c{index} DOUBLE" for index in range(arity))
+        selects = ", ".join(f"SUM(c{index})" for index in range(arity))
+        marks = ", ".join("?" for _ in range(arity + 1))
+        scratch = self._connect()
+        try:
+            scratch.run("DROP TABLE IF EXISTS partials")
+            scratch.run(f"CREATE TABLE partials (gid BIGINT, {columns})")
+            scratch.load(f"INSERT INTO partials VALUES ({marks})", rows)
+            result = scratch.rows(
+                f"SELECT gid, {selects} FROM partials GROUP BY gid ORDER BY gid")
+            scratch.run("DROP TABLE partials")
+        finally:
+            scratch.close()
+        sums: dict[int, tuple[float, ...]] = {}
+        for row in result:
+            components = tuple(float(total) for total in row[1:])
+            if any(not (abs(component) < _EXACT_SUM_BOUND)
+                   for component in components):
+                return None
+            sums[int(row[0])] = components
+        return sums
+
+    # -- phase compilers ------------------------------------------------------
+
+    def _reduce_similarity2(self, runner: Any, job: Any, partitions: dict,
+                            stats: Any, counters: Any) -> list[Any] | None:
+        """``SUM`` the conjunctive partials per candidate pair."""
+        reducer = job.reducer
+        measure = reducer.measure
+        zero = _pushdown_zero(measure, "conj")
+        if zero is None:
+            return None
+        arity = len(zero)
+        groups: list[tuple[int, Any, int, int]] = []
+        rows: list[tuple] = []
+        for gid, partition, key, key_values in _serial_groups(partitions):
+            bytes_in = 0
+            for key_value in key_values:
+                components = _integral_components(key_value.value, arity)
+                if components is None:
+                    return None
+                rows.append((gid, *components))
+                bytes_in += estimate_record_bytes(key_value)
+            groups.append((partition, key, len(key_values), bytes_in))
+        sums = self._grouped_sums(arity, rows)
+        if sums is None:
+            return None
+
+        accounting = ReduceAccounting(runner, job)
+        context = accounting.context
+        codec = reducer.pair_codec
+        threshold = reducer.threshold
+        for gid, (partition, key, group_records, bytes_in) in enumerate(groups):
+            conj = sums[gid]
+            if codec is None:
+                first, second = key.first, key.second
+                uni_first, uni_second = key.uni_first, key.uni_second
+            else:
+                packed, uni_first, uni_second = key
+                first, second = codec.unpack(packed)
+            similarity = measure.combine(uni_first, uni_second, conj)
+            accounting.start_group(job, key, group_records, bytes_in, False)
+            context.increment("similarity2/pairs_evaluated", 1)
+            bytes_out = 0
+            records_out = 0
+            if similarity >= threshold:
+                context.increment("similarity2/pairs_output", 1)
+                bytes_out = accounting.emit(SimilarPair(first, second, similarity))
+                records_out = 1
+            accounting.finish_group(partition, group_records, bytes_in,
+                                    bytes_out, records_out)
+        return accounting.finish(job, stats, counters)
+
+    def _reduce_similarity1(self, runner: Any, job: Any, partitions: dict,
+                            stats: Any, counters: Any) -> list[Any] | None:
+        """Self-join the postings table to enumerate candidate pairs."""
+        reducer = job.reducer
+        candidate_filter = reducer.filter
+        groups: list[tuple[int, Any, int, int, int]] = []
+        postings: list[Any] = []
+        rows: list[tuple[int, int, int]] = []
+        mid_codes: dict[Any, int] = {}
+        for gid, partition, key, key_values in _serial_groups(partitions):
+            start = len(postings)
+            bytes_in = 0
+            for key_value in key_values:
+                posting = key_value.value
+                code = mid_codes.setdefault(posting.multiset_id, len(mid_codes))
+                rows.append((len(postings), gid, code))
+                postings.append(posting)
+                bytes_in += estimate_record_bytes(key_value)
+            groups.append((partition, key, start, len(postings), bytes_in))
+
+        scratch = self._connect()
+        try:
+            scratch.run("DROP TABLE IF EXISTS postings")
+            scratch.run(
+                "CREATE TABLE postings (gidx BIGINT, gid BIGINT, mid BIGINT)")
+            scratch.load("INSERT INTO postings VALUES (?, ?, ?)", rows)
+            # One pair row per unordered posting pair of each element that
+            # belongs to two different multisets, in exactly the serial
+            # reducer's nested-loop order.
+            pair_rows = scratch.rows(
+                "SELECT a.gid, a.gidx, b.gidx FROM postings a "
+                "JOIN postings b ON b.gid = a.gid AND b.gidx > a.gidx "
+                "AND b.mid <> a.mid "
+                "ORDER BY a.gid, a.gidx, b.gidx")
+            scratch.run("DROP TABLE postings")
+        finally:
+            scratch.close()
+
+        accounting = ReduceAccounting(runner, job)
+        context = accounting.context
+        row_index = 0
+        total_rows = len(pair_rows)
+        for gid, (partition, key, start, stop, bytes_in) in enumerate(groups):
+            frequency = stop - start
+            # materializes_input is True here (chunking gated out above),
+            # so the budget check applies exactly as in the serial task.
+            accounting.start_group(job, key, frequency, bytes_in, True)
+            context.increment("similarity1/elements", 1)
+            bytes_out = 0
+            records_out = 0
+            pruned = 0
+            while row_index < total_rows and pair_rows[row_index][0] == gid:
+                _gid, gidx_i, gidx_j = pair_rows[row_index]
+                row_index += 1
+                posting_i = postings[gidx_i]
+                posting_j = postings[gidx_j]
+                if candidate_filter.rejects(posting_i, posting_j):
+                    pruned += 1
+                    continue
+                context.increment("similarity1/candidate_records", 1)
+                bytes_out += accounting.emit(
+                    candidate_filter.pair_record(posting_i, posting_j))
+                records_out += 1
+            if pruned:
+                context.increment("similarity1/candidates_pruned", pruned)
+            accounting.finish_group(partition, frequency, bytes_in,
+                                    bytes_out, records_out)
+        return accounting.finish(job, stats, counters)
+
+    def _reduce_online_aggregation(self, runner: Any, job: Any,
+                                   partitions: dict, stats: Any,
+                                   counters: Any) -> list[Any] | None:
+        """``SUM`` the per-element ``Uni`` contributions per multiset."""
+        reducer = job.reducer
+        measure = reducer.measure
+        zero = _pushdown_zero(measure, "uni")
+        if zero is None:
+            return None
+        arity = len(zero)
+        groups: list[tuple[int, Any, int, int, list[tuple]]] = []
+        rows: list[tuple] = []
+        for gid, partition, key, key_values in _serial_groups(partitions):
+            bytes_in = 0
+            elements: list[tuple] = []
+            saw_element = False
+            for key_value in key_values:
+                bytes_in += estimate_record_bytes(key_value)
+                value = key_value.value
+                if not isinstance(value, tuple) or len(value) < 2:
+                    return None
+                if value[0] == UNI_TAG:
+                    # The serial reducer folds Uni records as it meets
+                    # them; the SUM is only equivalent while every Uni
+                    # record precedes every element record (which the
+                    # secondary sort guarantees — this gate is belt and
+                    # braces against hand-built value lists).
+                    if saw_element:
+                        return None
+                    components = _integral_components(value[1], arity)
+                    if components is None:
+                        return None
+                    rows.append((gid, *components))
+                else:
+                    if len(value) != 3:
+                        return None
+                    saw_element = True
+                    elements.append((value[1], value[2]))
+            groups.append((partition, key, len(key_values), bytes_in, elements))
+        sums = self._grouped_sums(arity, rows)
+        if sums is None:
+            return None
+
+        accounting = ReduceAccounting(runner, job)
+        context = accounting.context
+        for gid, (partition, key, group_records, bytes_in,
+                  elements) in enumerate(groups):
+            uni = sums.get(gid, zero)
+            accounting.start_group(job, key, group_records, bytes_in, False)
+            bytes_out = 0
+            records_out = 0
+            for element, multiplicity in elements:
+                bytes_out += accounting.emit(
+                    JoinedTuple(key, uni, element, multiplicity))
+                records_out += 1
+            context.increment("online_aggregation/multisets", 1)
+            accounting.finish_group(partition, group_records, bytes_in,
+                                    bytes_out, records_out)
+        return accounting.finish(job, stats, counters)
+
+
+# -- pushdown gates -----------------------------------------------------------
+
+
+def _serial_groups(partitions: dict) -> Iterator[tuple[int, int, Any,
+                                                       list[KeyValue]]]:
+    """Yield ``(gid, partition, key, records)`` in the serial reduce order."""
+    gid = 0
+    for partition in sorted(partitions):
+        for key, key_values in partitions[partition].items():
+            yield gid, partition, key, key_values
+            gid += 1
+
+
+def _pushdown_zero(measure: Any, which: str) -> tuple[float, ...] | None:
+    """The measure's fold identity, if SQL ``SUM`` reproduces its fold.
+
+    A grouped ``SUM`` equals the serial left fold only when the measure
+    merges partials with the base class's element-wise addition and folds
+    from an all-zero identity; measures overriding either keep the exact
+    Python loop.
+    """
+    if which == "conj":
+        if type(measure).conj_merge is not NominalSimilarityMeasure.conj_merge:
+            return None
+        zero = measure.conj_zero()
+    else:
+        if type(measure).uni_merge is not NominalSimilarityMeasure.uni_merge:
+            return None
+        zero = measure.uni_zero()
+    if not zero or any(component != 0.0 for component in zero):
+        return None
+    return tuple(float(component) for component in zero)
+
+
+def _integral_components(value: Any, arity: int) -> list[float] | None:
+    """The partial's components as integral floats, or ``None`` to gate out."""
+    if not isinstance(value, tuple) or len(value) != arity:
+        return None
+    components: list[float] = []
+    for component in value:
+        if isinstance(component, bool) or not isinstance(component, (int, float)):
+            return None
+        number = float(component)
+        if not number.is_integer():
+            return None
+        components.append(number)
+    return components

@@ -56,6 +56,22 @@ class ExecutionBackend:
         """Apply ``function`` to every task, returning results in task order."""
         raise NotImplementedError
 
+    def execute_phases(self, runner: Any, job: Any, dataset: Any,
+                       stats: Any, counters: Any,
+                       num_reducers: int) -> list[Any] | None:
+        """Optionally take over a whole job's map/combine/shuffle/reduce.
+
+        The runner calls this once per job before its generic phase loop.
+        Returning ``None`` (the default) keeps the generic path: the runner
+        splits each phase into tasks and feeds them through
+        :meth:`run_tasks`.  A backend that owns its own execution strategy —
+        an out-of-core shuffle, a SQL pushdown — returns the job's output
+        records instead, having filled in ``stats`` and ``counters``
+        exactly as the generic path would (an empty list is a valid
+        output, so callers must test ``is None``).
+        """
+        return None
+
     def close(self) -> None:
         """Release any pooled workers; the backend may be used again after."""
 
@@ -169,18 +185,45 @@ _BACKEND_FACTORIES: dict[str, type[ExecutionBackend]] = {
     ProcessBackend.name: ProcessBackend,
 }
 
+#: Backends registered lazily: name -> module whose import registers it.
+#: Keeps ``repro.mapreduce`` free of a hard dependency on ``repro.exec``
+#: (which itself imports storage and similarity machinery).
+_LAZY_BACKENDS: dict[str, str] = {
+    "disk": "repro.exec",
+    "sql": "repro.exec",
+}
+
+
+def register_backend(factory: type[ExecutionBackend]) -> None:
+    """Register an :class:`ExecutionBackend` subclass under its ``name``."""
+    _BACKEND_FACTORIES[factory.name] = factory
+
+
+def _resolve_lazy(name: str) -> None:
+    module = _LAZY_BACKENDS.get(name)
+    if module is not None and name not in _BACKEND_FACTORIES:
+        import importlib
+
+        importlib.import_module(module)
+
 
 def available_backends() -> list[str]:
     """Return the sorted names of all execution backends."""
+    for name in _LAZY_BACKENDS:
+        _resolve_lazy(name)
     return sorted(_BACKEND_FACTORIES)
 
 
 def get_backend(backend: str | ExecutionBackend | None = "serial",
-                num_workers: int | None = None) -> ExecutionBackend:
+                num_workers: int | None = None,
+                **options: Any) -> ExecutionBackend:
     """Resolve a backend name into an :class:`ExecutionBackend` instance.
 
-    Backend instances pass through unchanged (``num_workers`` is then
-    ignored); ``None`` resolves to the serial backend.  Unknown names raise
+    Backend instances pass through unchanged (``num_workers`` and
+    ``options`` are then ignored); ``None`` resolves to the serial backend.
+    Keyword ``options`` are forwarded to the backend constructor — for
+    example ``get_backend("disk", memory_budget_bytes=1 << 20)`` or
+    ``get_backend("sql", engine="duckdb")``.  Unknown names raise
     :class:`~repro.core.exceptions.JobConfigurationError` listing the
     available backends.
     """
@@ -188,10 +231,12 @@ def get_backend(backend: str | ExecutionBackend | None = "serial",
         return backend
     if backend is None:
         return SerialBackend()
-    factory = _BACKEND_FACTORIES.get(str(backend).strip().lower())
+    name = str(backend).strip().lower()
+    _resolve_lazy(name)
+    factory = _BACKEND_FACTORIES.get(name)
     if factory is None:
         known = ", ".join(available_backends())
         raise JobConfigurationError(
             f"unknown execution backend {backend!r}; "
             f"available backends: {known}")
-    return factory(num_workers)
+    return factory(num_workers, **options)

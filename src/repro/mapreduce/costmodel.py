@@ -49,11 +49,19 @@ class CostParameters:
     side_data_load_rate: float = 16.0e6
     #: Work-unit overhead charged per record (models per-record CPU cost).
     record_overhead_bytes: float = 64.0
+    #: Per-machine sequential disk bandwidth for spilled shuffle data,
+    #: bytes/second.  ``None`` (the default) charges nothing for disk —
+    #: the historical behaviour, appropriate while shuffles stay in memory.
+    #: Set it when running out-of-core backends so ``algorithm="auto"`` and
+    #: backend selection price the write+read of every spilled byte.
+    disk_bandwidth: float | None = None
 
     def __post_init__(self) -> None:
         if min(self.machine_throughput, self.network_bandwidth,
                self.side_data_load_rate) <= 0:
             raise ValueError("all cost-model rates must be positive")
+        if self.disk_bandwidth is not None and self.disk_bandwidth <= 0:
+            raise ValueError("disk_bandwidth must be positive when set")
         if self.job_overhead_seconds < 0 or self.record_overhead_bytes < 0:
             raise ValueError("overheads must be non-negative")
 
@@ -71,13 +79,17 @@ class CostBreakdown:
     map_seconds: float
     shuffle_seconds: float
     reduce_seconds: float
+    #: Spill I/O of an out-of-core shuffle; 0.0 unless the calibration sets
+    #: :attr:`CostParameters.disk_bandwidth` (defaulted so existing
+    #: construction sites and serialized breakdowns stay valid).
+    disk_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         """Total simulated run time of the job."""
         return (self.overhead_seconds + self.side_data_seconds
                 + self.map_seconds + self.shuffle_seconds
-                + self.reduce_seconds)
+                + self.reduce_seconds + self.disk_seconds)
 
 
 class CostModel:
@@ -106,12 +118,23 @@ class CostModel:
                               stats.reduce.max_unit_work)
         reduce_seconds = reduce_critical / params.machine_throughput
 
+        # Out-of-core shuffles write every spilled byte once and read it
+        # back once; the fleet's disks absorb that in parallel.  The term
+        # is charged from the same ``spilled_bytes`` statistic for every
+        # backend, so enabling it never breaks cross-backend parity of
+        # simulated times — it changes what all of them report, honestly.
+        disk_seconds = 0.0
+        if params.disk_bandwidth is not None:
+            disk_seconds = (2 * stats.spilled_bytes
+                            / (params.disk_bandwidth * machines))
+
         return CostBreakdown(
             overhead_seconds=params.job_overhead_seconds,
             side_data_seconds=side_data_seconds,
             map_seconds=map_seconds,
             shuffle_seconds=shuffle_seconds,
             reduce_seconds=reduce_seconds,
+            disk_seconds=disk_seconds,
         )
 
     def annotate(self, stats: JobStats, cluster: Cluster) -> float:

@@ -155,6 +155,29 @@ class LocalJobRunner:
         self._check_memory(job.name, "side data", side_data_bytes)
 
         num_reducers = job.num_reducers or self.cluster.num_machines
+
+        # A backend may take over the whole phase sequence (out-of-core
+        # shuffle, SQL pushdown); ``None`` — not an empty output — selects
+        # the generic task-splitting path below.
+        output_records = self.backend.execute_phases(
+            self, job, dataset, stats, counters, num_reducers)
+        if output_records is None:
+            output_records = self._execute_phases(job, dataset, stats,
+                                                  counters, num_reducers)
+
+        self._check_disk(job.name, stats)
+        stats.merge_counters(counters.as_dict())
+        self.cost_model.annotate(stats, self.cluster)
+        self._check_scheduler(job.name, stats)
+        output = Dataset(f"{job.name}:output", output_records)
+        return JobResult(output=output, stats=stats)
+
+    # -- phases ---------------------------------------------------------------
+
+    def _execute_phases(self, job: JobSpec, dataset: Dataset,
+                        stats: JobStats, counters: Counters,
+                        num_reducers: int) -> list[Any]:
+        """The generic map / combine / shuffle / reduce sequence."""
         want_shuffle = job.reducer is not None
 
         map_output, spill = self._run_map_phase(
@@ -172,20 +195,10 @@ class LocalJobRunner:
         stats.spilled_bytes = stats.shuffle_bytes
 
         if job.reducer is None:
-            output_records: list[Any] = [kv for kv in map_output]
-        else:
-            assert spill is not None
-            partitions = self._finish_shuffle(job, spill)
-            output_records = self._run_reduce_phase(job, partitions, stats, counters)
-
-        self._check_disk(job.name, stats)
-        stats.merge_counters(counters.as_dict())
-        self.cost_model.annotate(stats, self.cluster)
-        self._check_scheduler(job.name, stats)
-        output = Dataset(f"{job.name}:output", output_records)
-        return JobResult(output=output, stats=stats)
-
-    # -- phases ---------------------------------------------------------------
+            return [kv for kv in map_output]
+        assert spill is not None
+        partitions = self._finish_shuffle(job, spill)
+        return self._run_reduce_phase(job, partitions, stats, counters)
 
     def _run_map_phase(self, job: JobSpec, dataset: Dataset,
                        stats: JobStats, counters: Counters,

@@ -22,6 +22,7 @@ Status conventions:
 from __future__ import annotations
 
 from repro.core.exceptions import (
+    BackendError,
     CircuitOpenError,
     CommunityError,
     DatasetError,
@@ -69,6 +70,7 @@ ERROR_TABLE: tuple[tuple[type[ReproError], str, int], ...] = (
     (StreamingError, "streaming_error", 409),
     (DatasetError, "dataset_error", 400),
     (StorageError, "storage_error", 500),
+    (BackendError, "backend_error", 500),
     (MemoryBudgetExceeded, "memory_budget_exceeded", 507),
     (DiskBudgetExceeded, "disk_budget_exceeded", 507),
     (JobTimeoutError, "job_timeout", 504),

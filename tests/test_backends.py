@@ -66,15 +66,40 @@ def small_corpus(count: int = 12, stride: int = 5) -> list[Multiset]:
 
 
 def run_join(backend, corpus, algorithm="online_aggregation", measure="ruzicka",
-             threshold=0.3):
+             threshold=0.3, intern=True):
     config = VSmartJoinConfig(
         algorithm=algorithm,
         measure=measure,
         threshold=threshold,
         sharding_threshold=3,
+        intern=intern,
     )
     join = VSmartJoin(config, cluster=laptop_cluster(), backend=backend)
     return join.run(corpus)
+
+
+def strip_telemetry(counters):
+    """Drop the reserved physical-execution counter namespaces.
+
+    ``shuffle/`` and ``sql/`` counters describe *how* a backend executed
+    (spilled runs, pushed-down queries); the parity contract covers what
+    was computed, which is everything else.
+    """
+    return {name: value for name, value in counters.items()
+            if not name.startswith(("shuffle/", "sql/"))}
+
+
+def comparable_stats(stats):
+    """Job stats as a dict with telemetry counters stripped."""
+    as_dict = dataclasses.asdict(stats)
+    as_dict["counters"] = strip_telemetry(as_dict["counters"])
+    return as_dict
+
+
+def exec_backends():
+    """Fresh disk (spill-heavy) and sql backend instances."""
+    return (get_backend("disk", memory_budget_bytes=2048, merge_fan_in=2),
+            get_backend("sql"))
 
 
 class TestBackendFactory:
@@ -94,11 +119,24 @@ class TestBackendFactory:
         assert get_backend(thread_backend) is thread_backend
 
     def test_unknown_backend_lists_available(self):
-        with pytest.raises(JobConfigurationError, match="process, serial, thread"):
+        with pytest.raises(JobConfigurationError,
+                           match="disk, process, serial, sql, thread"):
             get_backend("gpu")
 
     def test_available_backends(self):
-        assert available_backends() == ["process", "serial", "thread"]
+        assert available_backends() == ["disk", "process", "serial", "sql",
+                                        "thread"]
+
+    def test_lazy_backends_resolve_by_name(self):
+        from repro.exec import DiskShuffleBackend, SqlBackend
+
+        assert isinstance(get_backend("disk"), DiskShuffleBackend)
+        assert isinstance(get_backend("sql"), SqlBackend)
+
+    def test_options_forward_to_backend_constructor(self):
+        backend = get_backend("disk", memory_budget_bytes=4096, merge_fan_in=3)
+        assert backend.memory_budget_bytes == 4096
+        assert backend.merge_fan_in == 3
 
     def test_serial_backend_has_one_worker(self):
         assert SerialBackend(num_workers=8).num_workers == 1
@@ -238,3 +276,32 @@ class TestPropertyParity:
                               threshold=threshold)
             assert result.pairs == base.pairs, backend.name
             assert result.counters() == base.counters(), backend.name
+
+    @settings(max_examples=12, deadline=None)
+    @given(corpus=corpora(),
+           algorithm=st.sampled_from(JOINING_ALGORITHMS),
+           measure=st.sampled_from(["ruzicka", "jaccard", "cosine"]),
+           threshold=st.sampled_from([0.2, 0.5, 0.8]),
+           intern=st.booleans())
+    def test_exec_backends_are_bit_identical(self, corpus, algorithm, measure,
+                                             threshold, intern):
+        """Disk-shuffle and SQL backends reproduce serial joins exactly.
+
+        Output pairs, counters (minus reserved telemetry namespaces) and
+        the complete per-job statistics must match bit for bit, across
+        measures, joining algorithms and interning on/off — the same
+        discipline the thread/process backends are held to.
+        """
+        base = run_join(SerialBackend(), corpus, algorithm=algorithm,
+                        measure=measure, threshold=threshold, intern=intern)
+        for backend in exec_backends():
+            result = run_join(backend, corpus, algorithm=algorithm,
+                              measure=measure, threshold=threshold,
+                              intern=intern)
+            assert result.pairs == base.pairs, backend.name
+            assert (strip_telemetry(result.counters())
+                    == strip_telemetry(base.counters())), backend.name
+            for mine, theirs in zip(base.pipeline.job_stats,
+                                    result.pipeline.job_stats, strict=True):
+                assert comparable_stats(mine) == comparable_stats(theirs), \
+                    (backend.name, mine.job_name)

@@ -103,6 +103,7 @@ from repro.similarity import (
 from repro.vcl import VCLConfig, VCLJoin, vcl_join
 from repro.vsmart import VSmartJoin, VSmartJoinConfig, vsmart_join
 from repro.engine import (
+    CalibrationProfile,
     CorpusProfile,
     JoinPlan,
     JoinResult,
@@ -127,11 +128,12 @@ from repro.streaming import (
     attach_serving,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Change",
     "ChangeBatch",
+    "CalibrationProfile",
     "CircuitBreaker",
     "Cluster",
     "CorpusProfile",

@@ -10,7 +10,7 @@ into tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.exceptions import (
@@ -51,6 +51,10 @@ class AlgorithmOutcome:
     num_pairs: int | None = None
     pairs: list[SimilarPair] | None = None
     detail: str = ""
+    #: Measured per-job statistics of the executed pipeline (empty for
+    #: in-memory algorithms and failed runs) — the raw material of
+    #: :class:`repro.engine.calibration.CalibrationProfile` training.
+    job_stats: list = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
@@ -112,6 +116,7 @@ def run_algorithm(algorithm: str,
             similarity_seconds=result.similarity_seconds,
             num_pairs=len(result.pairs),
             pairs=result.pairs if keep_pairs else None,
+            job_stats=list(result.pipeline.job_stats),
         )
     except MemoryBudgetExceeded as error:
         return AlgorithmOutcome(algorithm=algorithm, status=STATUS_OUT_OF_MEMORY,

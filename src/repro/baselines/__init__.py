@@ -5,10 +5,12 @@ from repro.baselines.inverted_index import InvertedIndexJoin
 from repro.baselines.minhash import (
     LSHParameters,
     MinHashLSHJoin,
+    derive_banding,
     estimate_similarity,
     minhash_signature,
 )
 from repro.baselines.ppjoin import PPJoin
+from repro.baselines.sampled import SampledJoin, sample_rate_for_recall
 
 __all__ = [
     "BruteForceJoin",
@@ -16,6 +18,9 @@ __all__ = [
     "LSHParameters",
     "MinHashLSHJoin",
     "PPJoin",
+    "SampledJoin",
+    "derive_banding",
     "estimate_similarity",
     "minhash_signature",
+    "sample_rate_for_recall",
 ]

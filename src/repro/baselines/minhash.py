@@ -16,10 +16,11 @@ original multisets.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.core.exceptions import MeasureNotApplicableError
+from repro.core.exceptions import DatasetError, MeasureNotApplicableError
 from repro.core.multiset import Multiset
 from repro.core.records import SimilarPair, canonical_pair
 from repro.mapreduce.partitioner import stable_hash
@@ -84,6 +85,51 @@ class LSHParameters:
         return 1.0 - (1.0 - similarity ** self.rows_per_band) ** self.num_bands
 
 
+def derive_banding(threshold: float, recall: float, *,
+                   max_hashes: int = 256, max_rows: int = 32) -> LSHParameters:
+    """Banding parameters guaranteeing ``collision_probability(threshold) >= recall``.
+
+    For every row count ``r`` the minimal band count is
+    ``b = ceil(log(1 - recall) / log(1 - threshold**r))``; more rows per band
+    sharpen the S-curve (fewer sub-threshold false candidates) at the price
+    of more hash functions.  The derivation keeps the largest ``r`` whose
+    minimal signature stays within ``max_hashes`` total hashes — ``r = 1``
+    is always feasible, so the constraint can never make the target
+    unreachable, and the returned parameters provably meet the recall bound
+    at the threshold (checked against float rounding before returning).
+    """
+    validate_threshold(threshold)
+    if not 0.0 < recall < 1.0:
+        raise ValueError("recall must be in (0, 1) to derive banding; "
+                         "an exact join does not use banding at all")
+    if max_hashes < 1:
+        raise ValueError("max_hashes must be at least 1")
+    chosen: LSHParameters | None = None
+    for rows in range(1, max_rows + 1):
+        miss = 1.0 - threshold ** rows
+        if miss <= 0.0:
+            bands = 1  # threshold == 1.0: any single band collides surely
+        else:
+            bands = max(1, math.ceil(math.log(1.0 - recall) / math.log(miss)))
+        if bands * rows > max_hashes:
+            break
+        candidate = LSHParameters(num_bands=bands, rows_per_band=rows)
+        while candidate.collision_probability(threshold) < recall:
+            candidate = LSHParameters(num_bands=candidate.num_bands + 1,
+                                      rows_per_band=rows)
+            if candidate.num_hashes > max_hashes:
+                candidate = None
+                break
+        if candidate is not None:
+            chosen = candidate
+    if chosen is None:
+        # Unreachable in practice (rows=1 always fits), kept as a guard.
+        chosen = LSHParameters(num_bands=max(
+            1, math.ceil(math.log(1.0 - recall) / math.log(1.0 - threshold))),
+            rows_per_band=1)
+    return chosen
+
+
 class MinHashLSHJoin:
     """Approximate all-pair similarity join via MinHash banding.
 
@@ -116,13 +162,28 @@ class MinHashLSHJoin:
         self.last_candidates = 0
 
     def run(self, multisets: Iterable[Multiset]) -> list[SimilarPair]:
-        """Return the (approximately) similar pairs."""
-        entities = {multiset.id: multiset for multiset in multisets}
+        """Return the (approximately) similar pairs.
+
+        Duplicate multiset ids raise :class:`~repro.core.exceptions.DatasetError`
+        (a dict keyed by id would silently drop all but the last occurrence).
+        Empty multisets are skipped entirely: their all-zero signatures would
+        otherwise band-collide with each other and report ``similarity=1.0``
+        pairs the exact measures score as 0.0, and no non-empty multiset can
+        reach a positive threshold against them either.
+        """
+        entities: dict = {}
+        for multiset in multisets:
+            if multiset.id in entities:
+                raise DatasetError(
+                    f"duplicate multiset id {multiset.id!r}: every multiset "
+                    "in a join must have a unique identifier")
+            entities[multiset.id] = multiset
         use_expansion = self.measure_name in ("ruzicka", "weighted_jaccard")
         signatures = {
             multiset_id: minhash_signature(entity, self.parameters.num_hashes,
                                            use_expansion, self.seed)
             for multiset_id, entity in entities.items()
+            if entity.cardinality > 0
         }
         candidates = self._banding_candidates(signatures)
         self.last_candidates = len(candidates)

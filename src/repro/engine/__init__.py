@@ -8,6 +8,7 @@ plan), the :class:`SimilarityEngine` session executes plans on its cluster
 and backend, and every path returns the same :class:`JoinResult`.
 """
 
+from repro.engine.calibration import CalibrationProfile, ComponentEstimate
 from repro.engine.engine import SimilarityEngine, join
 from repro.engine.planner import (
     CorpusProfile,
@@ -18,6 +19,7 @@ from repro.engine.planner import (
 )
 from repro.engine.result import JoinResult
 from repro.engine.spec import (
+    APPROXIMATE_ALGORITHMS,
     AUTO,
     ENGINE_ALGORITHMS,
     PLANNABLE_ALGORITHMS,
@@ -27,7 +29,10 @@ from repro.engine.spec import (
 )
 
 __all__ = [
+    "APPROXIMATE_ALGORITHMS",
     "AUTO",
+    "CalibrationProfile",
+    "ComponentEstimate",
     "CorpusProfile",
     "ENGINE_ALGORITHMS",
     "JoinPlan",

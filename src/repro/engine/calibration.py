@@ -1,0 +1,271 @@
+"""Online cost-model calibration: learn the rates from measured runs.
+
+The :class:`~repro.engine.planner.Planner` prices every candidate pipeline
+through :class:`~repro.mapreduce.costmodel.CostParameters` — fixed
+calibration constants that inevitably drift from whatever the simulated (or
+eventually real) cluster actually delivers.  This module closes the loop
+the way a self-tuning database does: every :class:`SimilarityEngine` run
+hands its *measured* per-job :class:`~repro.mapreduce.types.JobStats` back
+to a :class:`CalibrationProfile`, which compares them component by
+component against the planner's *estimated* stats for the same pipeline
+and accumulates multiplicative corrections for each rate:
+
+* ``machine_throughput``   — from the map + reduce compute seconds;
+* ``network_bandwidth``    — from the shuffle seconds;
+* ``side_data_load_rate``  — from the side-data load seconds;
+* ``disk_bandwidth``       — from the spill I/O seconds (when priced);
+* ``job_overhead_seconds`` — from the per-pipeline job count;
+* ``record_overhead_bytes``— from the record-count estimation error.
+
+Both sides are re-priced through the *base* parameters inside
+:meth:`CalibrationProfile.observe`, so the corrections measure estimation
+error against a fixed yardstick and the feedback loop cannot chase its own
+tail.  Each correction is the geometric mean of the observed
+measured/predicted ratios — the right average for multiplicative errors —
+and :meth:`CalibrationProfile.calibrated_parameters` folds them back into
+a :class:`CostParameters` the planner can price with.
+
+Profiles persist through :mod:`repro.storage` (the generic ``meta`` table,
+section ``"calibration"``), so what one session learns the next session
+plans with::
+
+    profile = CalibrationProfile.load_or_create("profile.db")
+    with SimilarityEngine(calibration=profile) as engine:
+        engine.run(spec, multisets)      # observes + recalibrates
+    profile.save("profile.db")
+
+or simply ``SimilarityEngine(calibration="profile.db")``, which loads the
+profile and saves it back after every observation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import StorageError
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.costmodel import CostModel, CostParameters
+from repro.mapreduce.types import JobStats
+
+#: The storage ``meta`` section a profile persists under.
+META_SECTION = "calibration"
+
+#: Component names a profile accumulates corrections for.
+COMPONENTS = ("compute", "shuffle", "side_data", "overhead", "disk",
+              "records")
+
+
+@dataclass
+class ComponentEstimate:
+    """Running geometric mean of observed measured/predicted ratios."""
+
+    log_sum: float = 0.0
+    count: int = 0
+
+    def observe(self, ratio: float) -> None:
+        """Fold one measured/predicted ratio into the estimate."""
+        if ratio <= 0.0 or not math.isfinite(ratio):
+            raise ValueError(f"ratio must be positive and finite; got {ratio}")
+        self.log_sum += math.log(ratio)
+        self.count += 1
+
+    @property
+    def factor(self) -> float:
+        """The geometric-mean correction (1.0 before any observation)."""
+        if not self.count:
+            return 1.0
+        return math.exp(self.log_sum / self.count)
+
+
+@dataclass
+class CalibrationProfile:
+    """Learned multiplicative corrections over a base :class:`CostParameters`.
+
+    ``base`` is the yardstick every observation is priced against; the
+    profile's :meth:`calibrated_parameters` divides the base *rates* by the
+    learned factor (a component that measured 2x slower than predicted
+    means the effective rate is half the base) and multiplies the base
+    *overheads* by it.
+    """
+
+    base: CostParameters = field(default_factory=CostParameters)
+    components: dict[str, ComponentEstimate] = field(
+        default_factory=lambda: {name: ComponentEstimate()
+                                 for name in COMPONENTS})
+    #: Number of runs observed (a run contributes one pipeline).
+    runs: int = 0
+    #: Total measured wall-clock seconds across observed runs (reporting
+    #: only — the simulated cost model never consumes wall-clock).
+    wall_seconds: float = 0.0
+    #: Bumped on every observation so planners can refresh lazily.
+    version: int = 0
+
+    # -- the feedback loop ---------------------------------------------------
+
+    def observe(self, predicted_jobs, measured_stats: list[JobStats],
+                cluster: Cluster, wall_seconds: float = 0.0) -> dict[str, float]:
+        """Fold one run's measured stats against its predicted pipeline.
+
+        ``predicted_jobs`` is the planner's pipeline for the executed
+        algorithm — a :class:`~repro.engine.planner.PlanCandidate` or any
+        object with ``.jobs`` carrying estimated :class:`JobStats` (or a
+        plain list of such job objects).  Both sides are re-priced through
+        the **base** parameters, so the observation is independent of
+        whatever calibrated parameters produced the plan.  Returns the
+        per-component ratios that were observed (useful for reporting).
+        """
+        jobs = getattr(predicted_jobs, "jobs", predicted_jobs)
+        model = CostModel(self.base)
+        predicted = [model.job_cost(job.stats, cluster) for job in jobs]
+        measured = [model.job_cost(stats, cluster) for stats in measured_stats]
+        if not predicted or not measured:
+            return {}
+
+        def seconds(costs, component):
+            return sum(getattr(cost, component) for cost in costs)
+
+        ratios: dict[str, float] = {}
+        pairs = (
+            ("compute", lambda c: c.map_seconds + c.reduce_seconds),
+            ("shuffle", lambda c: c.shuffle_seconds),
+            ("side_data", lambda c: c.side_data_seconds),
+            ("disk", lambda c: c.disk_seconds),
+        )
+        for name, extract in pairs:
+            predicted_seconds = sum(extract(cost) for cost in predicted)
+            measured_seconds = sum(extract(cost) for cost in measured)
+            if predicted_seconds > 0.0 and measured_seconds > 0.0:
+                ratios[name] = measured_seconds / predicted_seconds
+        # Overhead scales with the number of jobs the pipeline really ran.
+        predicted_overhead = seconds(predicted, "overhead_seconds")
+        measured_overhead = seconds(measured, "overhead_seconds")
+        if predicted_overhead > 0.0 and measured_overhead > 0.0:
+            ratios["overhead"] = measured_overhead / predicted_overhead
+        # Record-count estimation error corrects record_overhead_bytes: the
+        # planner charges per-record CPU from its estimated record counts.
+        predicted_records = sum(job.stats.map.records_in
+                                + job.stats.reduce.records_in for job in jobs)
+        measured_records = sum(stats.map.records_in + stats.reduce.records_in
+                               for stats in measured_stats)
+        if predicted_records > 0 and measured_records > 0:
+            ratios["records"] = measured_records / predicted_records
+
+        for name, ratio in ratios.items():
+            self.components[name].observe(ratio)
+        self.runs += 1
+        self.wall_seconds += max(0.0, wall_seconds)
+        self.version += 1
+        return ratios
+
+    def factor(self, component: str) -> float:
+        """The learned correction for one component (1.0 when unobserved)."""
+        return self.components[component].factor
+
+    def calibrated_parameters(self) -> CostParameters:
+        """The base parameters with every learned correction folded in."""
+        disk = self.base.disk_bandwidth
+        if disk is not None:
+            disk = disk / self.factor("disk")
+        return CostParameters(
+            job_overhead_seconds=(self.base.job_overhead_seconds
+                                  * self.factor("overhead")),
+            machine_throughput=(self.base.machine_throughput
+                                / self.factor("compute")),
+            network_bandwidth=(self.base.network_bandwidth
+                               / self.factor("shuffle")),
+            side_data_load_rate=(self.base.side_data_load_rate
+                                 / self.factor("side_data")),
+            record_overhead_bytes=(self.base.record_overhead_bytes
+                                   * self.factor("records")),
+            disk_bandwidth=disk,
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, destination) -> None:
+        """Persist the profile into ``destination`` (path or StorageEngine).
+
+        Stored under the generic ``meta`` table, section ``"calibration"``
+        — no schema migration, and a profile can share a database with any
+        other stored artifact.
+        """
+        from repro.storage import open_engine
+
+        engine, owned = open_engine(destination)
+        try:
+            payload = {
+                "base": json.dumps(_describe_parameters(self.base),
+                                   sort_keys=True),
+                "components": json.dumps(
+                    {name: [estimate.log_sum, estimate.count]
+                     for name, estimate in self.components.items()},
+                    sort_keys=True),
+                "runs": str(self.runs),
+                "wall_seconds": repr(self.wall_seconds),
+                "version": str(self.version),
+            }
+            with engine.transaction():
+                for key, value in payload.items():
+                    engine.set_meta(META_SECTION, key, value)
+        finally:
+            if owned:
+                engine.close()
+
+    @classmethod
+    def load(cls, source) -> "CalibrationProfile":
+        """Load a stored profile; raises :class:`StorageError` if absent."""
+        from repro.storage import open_engine
+
+        engine, owned = open_engine(source)
+        try:
+            stored = engine.meta_section(META_SECTION)
+        finally:
+            if owned:
+                engine.close()
+        if not stored.get("base"):
+            raise StorageError(
+                "no calibration profile stored in this database; "
+                "use CalibrationProfile.load_or_create to start fresh")
+        try:
+            base = CostParameters(**json.loads(stored["base"]))
+            components = {
+                name: ComponentEstimate(log_sum=float(log_sum),
+                                        count=int(count))
+                for name, (log_sum, count)
+                in json.loads(stored["components"]).items()}
+            for name in COMPONENTS:
+                components.setdefault(name, ComponentEstimate())
+            return cls(base=base, components=components,
+                       runs=int(stored.get("runs") or 0),
+                       wall_seconds=float(stored.get("wall_seconds") or 0.0),
+                       version=int(stored.get("version") or 0))
+        except (TypeError, ValueError, KeyError) as error:
+            raise StorageError(
+                f"stored calibration profile is corrupt: {error}") from None
+
+    @classmethod
+    def load_or_create(cls, source,
+                       base: CostParameters | None = None
+                       ) -> "CalibrationProfile":
+        """Load a stored profile, or start a fresh one over ``base``.
+
+        A stored profile wins over ``base`` — the point of persistence is
+        that the learned state survives the caller's defaults.
+        """
+        try:
+            return cls.load(source)
+        except StorageError:
+            return cls(base=base or CostParameters())
+
+
+def _describe_parameters(parameters: CostParameters) -> dict[str, float | None]:
+    return {
+        "job_overhead_seconds": parameters.job_overhead_seconds,
+        "machine_throughput": parameters.machine_throughput,
+        "network_bandwidth": parameters.network_bandwidth,
+        "side_data_load_rate": parameters.side_data_load_rate,
+        "record_overhead_bytes": parameters.record_overhead_bytes,
+        "disk_bandwidth": parameters.disk_bandwidth,
+    }

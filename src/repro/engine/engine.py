@@ -22,11 +22,15 @@ parameters.
 
 from __future__ import annotations
 
+import time
+
 from repro.baselines.inverted_index import InvertedIndexJoin
 from repro.baselines.minhash import MinHashLSHJoin
 from repro.baselines.ppjoin import PPJoin
-from repro.core.exceptions import JobConfigurationError
+from repro.baselines.sampled import SampledJoin
+from repro.core.exceptions import DatasetError, JobConfigurationError
 from repro.core.multiset import Multiset
+from repro.engine.calibration import CalibrationProfile
 from repro.engine.planner import CorpusProfile, JoinPlan, Planner
 from repro.engine.result import JoinResult
 from repro.engine.spec import AUTO, VCL, JoinSpec
@@ -61,20 +65,36 @@ class SimilarityEngine:
         Cost-model calibration shared by the planner and the runners.
     enforce_budgets:
         Whether per-machine memory/disk budgets abort jobs.
+    calibration:
+        Optional self-tuning feedback loop: a
+        :class:`~repro.engine.calibration.CalibrationProfile`, or a storage
+        path/engine to load one from (created fresh over
+        ``cost_parameters`` if none is stored, and saved back after every
+        observed run).  Every distributed run's measured job statistics are
+        folded into the profile, and the session planner prices with the
+        profile's learned parameters instead of the fixed constants.
     """
 
     def __init__(self, data=None, *,
                  cluster: Cluster | None = None,
                  backend: str | ExecutionBackend = "serial",
                  cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
-                 enforce_budgets: bool = True) -> None:
+                 enforce_budgets: bool = True,
+                 calibration: "CalibrationProfile | str | None" = None) -> None:
         self.data = data
         self.cluster = cluster or laptop_cluster()
         self.cost_parameters = cost_parameters
         self.enforce_budgets = enforce_budgets
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = get_backend(backend)
-        self.planner = Planner(cost_parameters)
+        self._calibration_sink = None
+        if calibration is None or isinstance(calibration, CalibrationProfile):
+            self.calibration = calibration
+        else:
+            self.calibration = CalibrationProfile.load_or_create(
+                calibration, base=cost_parameters)
+            self._calibration_sink = calibration
+        self.planner = Planner(cost_parameters, calibration=self.calibration)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -138,7 +158,12 @@ class SimilarityEngine:
             plan = planner.plan(spec, multisets, self._cluster_for(spec),
                                 enforce_budgets=self._enforce_budgets(spec))
             algorithm = plan.algorithm
+        start = time.perf_counter()
         pairs, pipeline = self._execute(algorithm, spec, multisets)
+        wall_seconds = time.perf_counter() - start
+        if self.calibration is not None and pipeline.job_stats:
+            self._observe_run(spec, algorithm, multisets, plan, pipeline,
+                              wall_seconds)
         return JoinResult(spec=spec, algorithm=algorithm, pairs=pairs,
                           pipeline=pipeline, multisets=multisets, plan=plan)
 
@@ -156,6 +181,31 @@ class SimilarityEngine:
 
     # -- internals -----------------------------------------------------------
 
+    def _observe_run(self, spec: JoinSpec, algorithm: str,
+                     multisets: list[Multiset], plan: JoinPlan | None,
+                     pipeline, wall_seconds: float) -> None:
+        """Feed one run's measured job stats into the calibration profile.
+
+        The predicted side is the plan's candidate for the executed
+        algorithm when a plan exists (``algorithm="auto"``); explicit runs
+        estimate it on demand — that one profiling pass is the price of
+        the feedback loop.  A path-backed profile is saved after every
+        observation, so learning survives the session unconditionally.
+        """
+        try:
+            candidate = (plan.candidate_for(algorithm) if plan is not None
+                         else None)
+        except KeyError:
+            candidate = None
+        if candidate is None:
+            candidate = self.planner.estimate(algorithm, spec, multisets,
+                                              self._cluster_for(spec))
+        self.calibration.observe(candidate, list(pipeline.job_stats),
+                                 self._cluster_for(spec),
+                                 wall_seconds=wall_seconds)
+        if self._calibration_sink is not None:
+            self.calibration.save(self._calibration_sink)
+
     def _materialise(self, data) -> list[Multiset]:
         if data is None:
             if self.data is None:
@@ -164,12 +214,12 @@ class SimilarityEngine:
                     "engine with a default corpus (SimilarityEngine(data))")
             # The session corpus is materialised exactly once, so a
             # one-shot iterator survives plan() followed by run().
-            self.data = multisets_from_input(self.data)
+            self.data = _check_unique_ids(multisets_from_input(self.data))
             return self.data
         # Always goes through the serving normaliser: it validates record
         # types (mixed collections raise a ReproError, not a downstream
         # TypeError) and returns multiset lists unchanged.
-        return multisets_from_input(data)
+        return _check_unique_ids(multisets_from_input(data))
 
     def _cluster_for(self, spec: JoinSpec) -> Cluster:
         return spec.cluster or self.cluster
@@ -245,8 +295,12 @@ class SimilarityEngine:
             pairs = sorted(PPJoin(measure, spec.threshold).run(multisets))
         elif algorithm == "minhash":
             joiner = MinHashLSHJoin(measure.name, spec.threshold,
-                                    parameters=spec.minhash_parameters,
+                                    parameters=spec.resolved_minhash_parameters(),
                                     verify_exact=True)
+            pairs = sorted(joiner.run(multisets))
+        elif algorithm == "sampled":
+            joiner = SampledJoin(measure, spec.threshold,
+                                 recall=spec.recall, intern=spec.intern)
             pairs = sorted(joiner.run(multisets))
         else:
             raise JobConfigurationError(
@@ -261,10 +315,30 @@ class SimilarityEngine:
         return pairs, pipeline
 
 
+def _check_unique_ids(multisets: list[Multiset]) -> list[Multiset]:
+    """Reject duplicate multiset ids once, at the engine boundary.
+
+    Several execution paths key intermediate state by multiset id (the
+    interning dictionary, the MinHash entity map, serving indexes); a
+    duplicate would silently shadow earlier occurrences and produce an
+    answer for a corpus the caller never supplied.
+    """
+    seen: set = set()
+    for multiset in multisets:
+        if multiset.id in seen:
+            raise DatasetError(
+                f"duplicate multiset id {multiset.id!r}: every multiset in "
+                "a join must have a unique identifier")
+        seen.add(multiset.id)
+    return multisets
+
+
 def join(data, *, cluster: Cluster | None = None,
          backend: str | ExecutionBackend = "serial",
          cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
-         enforce_budgets: bool = True, **spec_fields) -> JoinResult:
+         enforce_budgets: bool = True,
+         calibration: "CalibrationProfile | str | None" = None,
+         **spec_fields) -> JoinResult:
     """One-call declarative join: build a spec, run it, return the result.
 
     The keyword arguments are :class:`~repro.engine.spec.JoinSpec` fields
@@ -281,5 +355,6 @@ def join(data, *, cluster: Cluster | None = None,
     spec = JoinSpec(**spec_fields)
     with SimilarityEngine(cluster=cluster, backend=backend,
                           cost_parameters=cost_parameters,
-                          enforce_budgets=enforce_budgets) as engine:
+                          enforce_budgets=enforce_budgets,
+                          calibration=calibration) as engine:
         return engine.run(spec, data)

@@ -47,7 +47,10 @@ from repro.datasets.stats import (
     skew_ratio,
     summarise_distribution,
 )
+from repro.baselines.minhash import SUPPORTED_MEASURES as MINHASH_MEASURES
+from repro.baselines.sampled import sample_rate_for_recall
 from repro.engine.spec import (
+    APPROXIMATE_ALGORITHMS,
     AUTO,
     PLANNABLE_ALGORITHMS,
     SEQUENTIAL_ALGORITHMS,
@@ -328,12 +331,34 @@ class Planner:
     only profiles the corpus (one linear pass, plus the prefix scan for the
     VCL candidate) and prices the pipelines through the same
     :class:`~repro.mapreduce.costmodel.CostModel` that prices real runs.
+
+    With a :class:`~repro.engine.calibration.CalibrationProfile` attached,
+    pricing uses the profile's learned
+    :meth:`~repro.engine.calibration.CalibrationProfile.calibrated_parameters`
+    instead of the construction-time constants, and follows the profile as
+    it keeps learning (the effective parameters refresh whenever the
+    profile's version moves).
     """
 
     def __init__(self,
-                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS) -> None:
+                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+                 calibration=None) -> None:
+        self.base_parameters = cost_parameters
+        self.calibration = calibration
+        self._calibration_version: int | None = None
         self.cost_parameters = cost_parameters
         self.cost_model = CostModel(cost_parameters)
+        self._refresh_calibration()
+
+    def _refresh_calibration(self) -> None:
+        """Re-derive the effective parameters when the profile has learned."""
+        if self.calibration is None:
+            return
+        if self._calibration_version == self.calibration.version:
+            return
+        self.cost_parameters = self.calibration.calibrated_parameters()
+        self.cost_model = CostModel(self.cost_parameters)
+        self._calibration_version = self.calibration.version
 
     # -- public API ---------------------------------------------------------
 
@@ -347,14 +372,16 @@ class Planner:
         and scheduler-limit checks still apply, as the runner enforces
         those unconditionally).
         """
+        self._refresh_calibration()
         profile = profile or CorpusProfile.from_multisets(multisets)
         if spec.algorithm == AUTO:
+            pool = self._auto_candidates(spec)
             candidates = tuple(sorted(
                 (self._checked(
                     self.estimate(algorithm, spec, multisets, cluster,
                                   profile),
                     cluster, enforce_budgets)
-                 for algorithm in PLANNABLE_ALGORITHMS),
+                 for algorithm in pool),
                 key=lambda candidate: (not candidate.feasible,
                                        candidate.predicted_seconds)))
             chosen = candidates[0]
@@ -368,6 +395,9 @@ class Planner:
                           f"candidates ({chosen.predicted_seconds:,.0f} s vs "
                           f"{runner_up.predicted_seconds:,.0f} s for "
                           f"{runner_up.algorithm!r})")
+                if chosen.algorithm in APPROXIMATE_ALGORITHMS:
+                    reason += (f"; approximate tier admitted by "
+                               f"recall={spec.recall}")
             return JoinPlan(spec=spec, algorithm=chosen.algorithm,
                             cluster=cluster, profile=profile,
                             candidates=candidates, reason=reason)
@@ -378,6 +408,23 @@ class Planner:
                         profile=profile, candidates=(candidate,),
                         reason=f"algorithm {spec.algorithm!r} requested "
                                "explicitly")
+
+    def _auto_candidates(self, spec: JoinSpec) -> tuple[str, ...]:
+        """The candidate pool ``algorithm="auto"`` prices for this spec.
+
+        Always the four distributed contenders; a spec that allows
+        inexactness (``recall < 1``) widens the pool with the approximate
+        tier — ``minhash`` only for the Jaccard-family measures its
+        signatures can estimate, ``sampled`` for every measure.
+        """
+        if not spec.allows_inexact:
+            return PLANNABLE_ALGORITHMS
+        from repro.similarity.registry import get_measure
+        pool = list(PLANNABLE_ALGORITHMS)
+        if get_measure(spec.measure).name in MINHASH_MEASURES:
+            pool.append("minhash")
+        pool.append("sampled")
+        return tuple(pool)
 
     def _checked(self, candidate: PlanCandidate, cluster: Cluster,
                  enforce_budgets: bool) -> PlanCandidate:
@@ -421,10 +468,15 @@ class Planner:
                  multisets: Sequence[Multiset], cluster: Cluster,
                  profile: CorpusProfile | None = None) -> PlanCandidate:
         """Predict the pipeline of one algorithm without executing it."""
+        self._refresh_calibration()
         profile = profile or CorpusProfile.from_multisets(multisets)
         measure = spec.resolved_measure()
         sizes = _RecordSizes.resolve(profile, measure, spec.intern)
-        if algorithm in SEQUENTIAL_ALGORITHMS:
+        if algorithm == "minhash":
+            jobs = self._estimate_minhash(spec, profile)
+        elif algorithm == "sampled":
+            jobs = self._estimate_sampled(spec, profile)
+        elif algorithm in SEQUENTIAL_ALGORITHMS:
             jobs = self._estimate_sequential(algorithm, profile, cluster)
         elif algorithm == ONLINE_AGGREGATION:
             jobs = (self._estimate_online_aggregation(profile, sizes, cluster)
@@ -847,16 +899,64 @@ class Planner:
             # Candidate-driven baselines verify roughly the inverted-index
             # candidate volume instead of all pairs.
             pairs = min(pairs, float(profile.candidate_records))
-        avg_bytes = (sum(profile.multiset_bytes) / profile.num_multisets
-                     if profile.num_multisets else 0.0)
-        work = pairs * 2 * avg_bytes
-        stats = JobStats(job_name=f"{algorithm} (in-memory)",
-                         num_machines=1)
+        avg_bytes = _avg_multiset_bytes(profile)
+        return [self._in_memory_job(f"{algorithm} (in-memory)",
+                                    pairs * 2 * avg_bytes,
+                                    profile.num_multisets)]
+
+    def _in_memory_job(self, name: str, work: float,
+                       records: int) -> PlannedJob:
+        """Price a single-machine in-memory pass: compute only, no overhead."""
+        stats = JobStats(job_name=name, num_machines=1)
         stats.map.work_units = work
         stats.map.machine_work = {0: work}
-        stats.map.records_in = profile.num_multisets
+        stats.map.records_in = records
         cost = CostBreakdown(
             overhead_seconds=0.0, side_data_seconds=0.0,
             map_seconds=work / self.cost_parameters.machine_throughput,
             shuffle_seconds=0.0, reduce_seconds=0.0)
-        return [PlannedJob(name=stats.job_name, stats=stats, cost=cost)]
+        return PlannedJob(name=name, stats=stats, cost=cost)
+
+    def _estimate_minhash(self, spec: JoinSpec,
+                          profile: CorpusProfile) -> list[PlannedJob]:
+        """Price the MinHash/LSH pipeline: signatures, banding, verification.
+
+        The banding is the one the engine would actually run with
+        (:meth:`JoinSpec.resolved_minhash_parameters` — recall-derived when
+        the spec sets a target), so a tighter recall demand honestly prices
+        as a longer signature.  Candidate volume is the unpruned
+        element-sharing pair count thinned by the banding's collision
+        probability at the threshold.
+        """
+        params = spec.resolved_minhash_parameters()
+        avg_bytes = _avg_multiset_bytes(profile)
+        signature_work = profile.num_records * params.num_hashes * _WORD
+        banding_work = (profile.num_multisets * params.num_bands
+                        * (_CONTAINER + params.rows_per_band * _WORD))
+        collide = params.collision_probability(spec.threshold)
+        candidates = profile.candidate_records * collide
+        verify_work = candidates * 2 * avg_bytes
+        work = signature_work + banding_work + verify_work
+        return [self._in_memory_job("minhash (in-memory)", work,
+                                    profile.num_multisets)]
+
+    def _estimate_sampled(self, spec: JoinSpec,
+                          profile: CorpusProfile) -> list[PlannedJob]:
+        """Price the sampled join: a linear sampling pass, then the exact
+        quadratic sweep shrunk by the squared keep rate."""
+        rate = (sample_rate_for_recall(spec.recall)
+                if spec.recall is not None else 1.0)
+        avg_bytes = _avg_multiset_bytes(profile)
+        pairs = profile.num_multisets * (profile.num_multisets - 1) / 2
+        sweep_work = pairs * (rate ** 2) * 2 * avg_bytes
+        scan_work = profile.num_multisets * (profile.avg_id_bytes + _WORD)
+        return [self._in_memory_job("sampled (in-memory)",
+                                    scan_work + sweep_work,
+                                    profile.num_multisets)]
+
+
+def _avg_multiset_bytes(profile: CorpusProfile) -> float:
+    """Mean estimated whole-multiset size of the corpus, in bytes."""
+    if not profile.num_multisets:
+        return 0.0
+    return sum(profile.multiset_bytes) / profile.num_multisets

@@ -15,11 +15,11 @@ import json
 from dataclasses import dataclass, field
 from typing import IO, Iterator, Sequence
 
-from repro.core.exceptions import DatasetError
+from repro.core.exceptions import DatasetError, StreamingError
 from repro.core.multiset import Multiset
 from repro.core.records import SimilarPair
 from repro.engine.planner import JoinPlan
-from repro.engine.spec import JoinSpec
+from repro.engine.spec import APPROXIMATE_ALGORITHMS, JoinSpec
 from repro.mapreduce.dfs import Dataset
 from repro.mapreduce.runner import PipelineResult
 from repro.mapreduce.types import JobStats
@@ -57,6 +57,19 @@ class JoinResult:
         ``result.config.measure`` / ``.threshold`` /
         ``.stop_word_frequency``; the spec carries all three."""
         return self.spec
+
+    @property
+    def exact(self) -> bool:
+        """Whether this result provably contains *every* qualifying pair.
+
+        ``False`` when the executed algorithm belongs to the approximate
+        tier (``minhash``, ``sampled`` — both may miss true pairs) or when
+        the spec filtered stop words (pairs are computed on filtered data).
+        Derived, not stored, so results loaded from storage report it
+        correctly too.
+        """
+        return (self.algorithm not in APPROXIMATE_ALGORITHMS
+                and self.spec.stop_word_frequency is None)
 
     @property
     def simulated_seconds(self) -> float:
@@ -132,11 +145,17 @@ class JoinResult:
         applies mutation batches exactly.  ``engine`` is the session the
         view's re-join strategy executes on (borrowed); without one, each
         re-join creates a throwaway serial engine.  Approximate results
-        (``minhash``) and stop-word-filtered joins cannot seed an exact
-        view and are rejected.
+        (:attr:`exact` is ``False`` — the approximate tier or a
+        stop-word-filtered join) cannot seed an exact view and are
+        rejected.
         """
         from repro.streaming.view import JoinView
 
+        if not self.exact:
+            raise StreamingError(
+                f"cannot maintain an exact view over the approximate "
+                f"{self.algorithm!r} result: it may already be missing true "
+                "pairs; re-run with an exact algorithm (or recall=None)")
         return JoinView(self.spec, self.multisets, pairs=self.pairs,
                         engine=engine)
 

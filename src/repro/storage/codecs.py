@@ -259,7 +259,7 @@ def load_index(source: str | os.PathLike | StorageEngine):
 _SPEC_FIELDS = ("threshold", "algorithm", "sharding_threshold",
                 "stop_word_frequency", "chunk_size", "use_combiners",
                 "intern", "prune_candidates", "vcl_element_order",
-                "vcl_super_element_groups")
+                "vcl_super_element_groups", "recall")
 
 
 def describe_spec(spec) -> str:

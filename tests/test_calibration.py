@@ -1,0 +1,171 @@
+"""Tests for the self-tuning cost-model calibration (`repro.engine.calibration`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exceptions import StorageError
+from repro.engine.calibration import (
+    COMPONENTS,
+    CalibrationProfile,
+    ComponentEstimate,
+)
+from repro.engine.planner import Planner
+from repro.engine.spec import JoinSpec
+from repro.engine.engine import SimilarityEngine
+from repro.mapreduce.costmodel import CostParameters
+
+
+class TestComponentEstimate:
+    def test_unobserved_factor_is_identity(self):
+        assert ComponentEstimate().factor == 1.0
+
+    def test_factor_is_geometric_mean(self):
+        estimate = ComponentEstimate()
+        estimate.observe(2.0)
+        estimate.observe(8.0)
+        assert estimate.factor == pytest.approx(4.0)
+        assert estimate.count == 2
+
+    def test_rejects_degenerate_ratios(self):
+        estimate = ComponentEstimate()
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                estimate.observe(bad)
+
+
+class TestCalibrationProfile:
+    def test_fresh_profile_reproduces_base_parameters(self):
+        base = CostParameters(machine_throughput=1234.0)
+        profile = CalibrationProfile(base=base)
+        assert profile.calibrated_parameters() == base
+        assert profile.runs == 0 and profile.version == 0
+
+    def test_slower_measurement_lowers_the_calibrated_rate(self):
+        profile = CalibrationProfile(base=CostParameters())
+        # Measured compute took 2x the predicted seconds: the learned
+        # throughput must halve (rates divide by the factor).
+        profile.components["compute"].observe(2.0)
+        calibrated = profile.calibrated_parameters()
+        assert calibrated.machine_throughput == pytest.approx(
+            profile.base.machine_throughput / 2.0)
+
+    def test_overheads_multiply_instead_of_divide(self):
+        profile = CalibrationProfile(base=CostParameters())
+        profile.components["overhead"].observe(1.5)
+        profile.components["records"].observe(0.5)
+        calibrated = profile.calibrated_parameters()
+        assert calibrated.job_overhead_seconds == pytest.approx(
+            profile.base.job_overhead_seconds * 1.5)
+        assert calibrated.record_overhead_bytes == pytest.approx(
+            profile.base.record_overhead_bytes * 0.5)
+
+    def test_disk_rate_calibrates_only_when_priced(self):
+        profile = CalibrationProfile(base=CostParameters())
+        profile.components["disk"].observe(3.0)
+        assert profile.calibrated_parameters().disk_bandwidth is None
+        priced = CalibrationProfile(
+            base=CostParameters(disk_bandwidth=1000.0))
+        priced.components["disk"].observe(2.0)
+        assert priced.calibrated_parameters().disk_bandwidth == pytest.approx(
+            500.0)
+
+
+class TestObservation:
+    def test_engine_run_feeds_the_profile(self, small_multisets, test_cluster):
+        profile = CalibrationProfile(base=CostParameters())
+        with SimilarityEngine(small_multisets, cluster=test_cluster,
+                              calibration=profile) as engine:
+            engine.run(JoinSpec(algorithm="online_aggregation",
+                                threshold=0.5))
+        assert profile.runs == 1
+        assert profile.version == 1
+        assert any(profile.components[name].count
+                   for name in ("compute", "shuffle"))
+
+    def test_sequential_runs_do_not_observe(self, small_multisets,
+                                            test_cluster):
+        # In-memory algorithms report no measured job stats; there is
+        # nothing to calibrate against.
+        profile = CalibrationProfile(base=CostParameters())
+        with SimilarityEngine(small_multisets, cluster=test_cluster,
+                              calibration=profile) as engine:
+            engine.run(JoinSpec(algorithm="exact", threshold=0.5))
+        assert profile.runs == 0
+
+    def test_calibration_tightens_the_prediction(self, small_multisets,
+                                                 test_cluster):
+        spec = JoinSpec(algorithm="online_aggregation", threshold=0.5)
+        profile = CalibrationProfile(base=CostParameters())
+        with SimilarityEngine(small_multisets, cluster=test_cluster,
+                              calibration=profile) as engine:
+            result = engine.run(spec)
+            measured = result.simulated_seconds
+            default_predicted = Planner(CostParameters()).plan(
+                spec, small_multisets, test_cluster).predicted_seconds
+            calibrated_predicted = engine.plan(spec).predicted_seconds
+
+        def deviation(predicted: float) -> float:
+            ratio = predicted / measured
+            return max(ratio, 1.0 / ratio)
+
+        assert deviation(calibrated_predicted) < deviation(default_predicted)
+
+    def test_planner_follows_a_learning_profile(self, small_multisets,
+                                                test_cluster):
+        profile = CalibrationProfile(base=CostParameters())
+        planner = Planner(CostParameters(), calibration=profile)
+        spec = JoinSpec(algorithm="online_aggregation", threshold=0.5)
+        before = planner.plan(spec, small_multisets,
+                              test_cluster).predicted_seconds
+        profile.components["compute"].observe(4.0)
+        profile.version += 1
+        after = planner.plan(spec, small_multisets,
+                             test_cluster).predicted_seconds
+        assert after > before
+
+
+class TestPersistence:
+    def test_round_trip_preserves_learned_state(self, small_multisets,
+                                                test_cluster, storage_path):
+        profile = CalibrationProfile(base=CostParameters())
+        with SimilarityEngine(small_multisets, cluster=test_cluster,
+                              calibration=profile) as engine:
+            engine.run(JoinSpec(algorithm="online_aggregation",
+                                threshold=0.5))
+        profile.save(storage_path)
+        loaded = CalibrationProfile.load(storage_path)
+        assert loaded.runs == profile.runs
+        assert loaded.version == profile.version
+        assert loaded.calibrated_parameters() == profile.calibrated_parameters()
+        for name in COMPONENTS:
+            assert loaded.components[name].count == profile.components[name].count
+
+    def test_load_without_stored_profile_raises(self, storage_path):
+        from repro.storage import StorageEngine
+
+        StorageEngine(storage_path).close()  # valid database, no profile
+        with pytest.raises(StorageError, match="no calibration profile"):
+            CalibrationProfile.load(storage_path)
+
+    def test_load_or_create_starts_fresh(self, storage_path):
+        base = CostParameters(machine_throughput=777.0)
+        profile = CalibrationProfile.load_or_create(storage_path, base=base)
+        assert profile.base == base and profile.runs == 0
+
+    def test_path_backed_engine_learns_across_sessions(self, small_multisets,
+                                                       test_cluster,
+                                                       storage_path):
+        spec = JoinSpec(algorithm="online_aggregation", threshold=0.5)
+        with SimilarityEngine(small_multisets, cluster=test_cluster,
+                              calibration=storage_path) as engine:
+            engine.run(spec)
+        # A second session constructed from the same path resumes the
+        # profile the first one saved.
+        with SimilarityEngine(small_multisets, cluster=test_cluster,
+                              calibration=storage_path) as engine:
+            assert engine.calibration.runs == 1
+            engine.run(spec)
+        assert CalibrationProfile.load(storage_path).runs == 2

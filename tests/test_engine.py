@@ -21,6 +21,7 @@ from hypothesis import strategies as st
 from repro import (
     JoinResult,
     JoinSpec,
+    Multiset,
     SimilarityEngine,
     available_algorithms,
     join,
@@ -133,7 +134,12 @@ class TestDiscovery:
 
     def test_every_advertised_algorithm_is_accepted_by_joinspec(self):
         for name in available_algorithms():
-            JoinSpec(algorithm=name)  # must not raise
+            # "sampled" is the one algorithm that *requires* opting into
+            # inexactness; everything else must construct bare.
+            if name == "sampled":
+                JoinSpec(algorithm=name, recall=0.95)
+            else:
+                JoinSpec(algorithm=name)  # must not raise
 
     def test_list_measures_matches_registry(self):
         measures = list_measures()
@@ -713,3 +719,134 @@ class TestJoinResultLazyConsumption:
         buffer = io.StringIO()
         assert result.to_jsonl(buffer) == len(result.pairs)
         assert len(buffer.getvalue().splitlines()) == len(result.pairs)
+
+
+class TestApproximateTier:
+    def test_recall_validation(self):
+        with pytest.raises(JobConfigurationError, match="recall"):
+            JoinSpec(recall=0.0)
+        with pytest.raises(JobConfigurationError, match="recall"):
+            JoinSpec(recall=1.5)
+        assert JoinSpec(recall=1.0).allows_inexact is False
+        assert JoinSpec(recall=0.9).allows_inexact is True
+        assert JoinSpec().allows_inexact is False
+
+    def test_recall_derives_minhash_banding(self):
+        derived = JoinSpec(algorithm="minhash", threshold=0.5,
+                           recall=0.95).resolved_minhash_parameters()
+        assert derived.collision_probability(0.5) >= 0.95
+        # Explicit parameters always win over the derivation.
+        from repro.baselines.minhash import LSHParameters
+
+        explicit = LSHParameters(num_bands=3, rows_per_band=2)
+        spec = JoinSpec(algorithm="minhash", threshold=0.5, recall=0.95,
+                        minhash_parameters=explicit)
+        assert spec.resolved_minhash_parameters() == explicit
+
+    def test_auto_without_recall_never_offers_approximate(
+            self, small_multisets, test_cluster):
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            plan = engine.plan(JoinSpec(threshold=0.5))
+        offered = {candidate.algorithm for candidate in plan.candidates}
+        assert offered == set(PLANNABLE_ALGORITHMS)
+
+    def test_auto_with_recall_offers_and_prices_approximate(
+            self, small_multisets, test_cluster):
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            plan = engine.plan(JoinSpec(threshold=0.5, recall=0.9))
+        offered = {candidate.algorithm for candidate in plan.candidates}
+        assert {"minhash", "sampled"} <= offered
+        for name in ("minhash", "sampled"):
+            candidate = plan.candidate_for(name)
+            assert candidate.feasible
+            assert candidate.predicted_seconds >= 0.0
+
+    def test_auto_with_recall_picks_approximate_when_cheaper(
+            self, small_multisets, test_cluster):
+        # Under the default calibration the in-memory approximate tier
+        # beats the per-job MapReduce overhead on a 40-multiset corpus.
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            result = engine.run(JoinSpec(threshold=0.5, recall=0.9))
+        assert result.algorithm in ("minhash", "sampled")
+        assert not result.exact
+        assert "recall=0.9" in result.plan.reason
+
+    def test_minhash_unsupported_measure_not_offered(self, small_multisets,
+                                                     test_cluster):
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            plan = engine.plan(JoinSpec(measure="dice", threshold=0.5,
+                                        recall=0.9))
+        offered = {candidate.algorithm for candidate in plan.candidates}
+        assert "minhash" not in offered and "sampled" in offered
+
+    def test_exact_flag_across_algorithms(self, small_multisets, test_cluster):
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            exact = engine.run(JoinSpec(threshold=0.5, algorithm="exact"))
+            sampled = engine.run(JoinSpec(threshold=0.5, algorithm="sampled",
+                                          recall=0.9))
+            minhash = engine.run(JoinSpec(threshold=0.5, algorithm="minhash"))
+            stopword = engine.run(JoinSpec(threshold=0.5, algorithm="exact",
+                                           stop_word_frequency=1000))
+        assert exact.exact
+        assert not sampled.exact
+        assert not minhash.exact
+        assert not stopword.exact
+
+    def test_sampled_pairs_subset_of_exact(self, small_multisets,
+                                           test_cluster):
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            exact = engine.run(JoinSpec(threshold=0.3, algorithm="exact"))
+            sampled = engine.run(JoinSpec(threshold=0.3, algorithm="sampled",
+                                          recall=0.8))
+        exact_pairs = {pair.pair for pair in exact}
+        assert {pair.pair for pair in sampled} <= exact_pairs
+
+    def test_approximate_results_cannot_seed_views(self, small_multisets,
+                                                   test_cluster):
+        from repro.core.exceptions import StreamingError
+
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            result = engine.run(JoinSpec(threshold=0.5, algorithm="sampled",
+                                         recall=0.9))
+            with pytest.raises(StreamingError, match="approximate"):
+                result.to_view()
+
+    def test_inexact_specs_cannot_construct_views(self, small_multisets):
+        from repro.core.exceptions import StreamingError
+        from repro.streaming.view import JoinView
+
+        with pytest.raises(StreamingError):
+            JoinView(JoinSpec(threshold=0.5, recall=0.9), small_multisets)
+
+    def test_recall_round_trips_through_storage(self, small_multisets,
+                                                test_cluster, storage_path):
+        with SimilarityEngine(small_multisets, cluster=test_cluster) as engine:
+            result = engine.run(JoinSpec(threshold=0.3, algorithm="sampled",
+                                         recall=0.9))
+        result.to_sqlite(storage_path)
+        loaded = JoinResult.from_sqlite(storage_path)
+        assert loaded.spec.recall == 0.9
+        assert loaded.algorithm == "sampled"
+        assert not loaded.exact
+        assert list(loaded) == list(result)
+
+
+class TestDuplicateIdBoundary:
+    def test_duplicate_ids_rejected_for_every_algorithm(self, test_cluster):
+        duplicated = [Multiset("m", {"x": 1, "y": 2}),
+                      Multiset("m", {"x": 1}),
+                      Multiset("other", {"y": 1})]
+        for algorithm in ("exact", "minhash", "online_aggregation", "auto"):
+            with pytest.raises(DatasetError, match="duplicate multiset id"):
+                join(duplicated, algorithm=algorithm, cluster=test_cluster)
+
+    def test_duplicate_ids_rejected_at_plan_time(self, test_cluster):
+        duplicated = [Multiset("m", {"x": 1}), Multiset("m", {"y": 1})]
+        with SimilarityEngine(duplicated, cluster=test_cluster) as engine:
+            with pytest.raises(DatasetError, match="duplicate multiset id"):
+                engine.plan(JoinSpec(threshold=0.5))
+
+    def test_unique_ids_still_pass(self, small_multisets, test_cluster):
+        result = join(small_multisets, algorithm="exact", threshold=0.5,
+                      cluster=test_cluster)
+        assert result.exact
